@@ -1,0 +1,74 @@
+"""Ablation: why the target batch size needs LAMB (Section 3 premise).
+
+The study's entire design rests on big-batch training being viable:
+"these minibatch sizes start to become more common due to the LAMB
+optimizer, which works well enough for both smaller (512) and huge
+batches (64K)". This ablation trains the same real (numpy) classifier
+at increasing batch sizes under a fixed sample budget, scaling the
+learning rate with the batch as large-batch practice requires: plain
+SGD under the linear-scaling rule explodes in the paper's TBS regime
+while LAMB's layer-wise trust ratio keeps training stable.
+"""
+
+import numpy as np
+
+from repro.training import (
+    LAMB,
+    LocalTrainer,
+    MLP,
+    SGD,
+    Tensor,
+    cross_entropy,
+    make_classification_data,
+)
+
+SAMPLE_BUDGET = 16384
+BASE_BATCH = 128
+
+
+def final_loss(optimizer_name, batch_size):
+    rng = np.random.default_rng(0)
+    features, labels = make_classification_data(rng, num_samples=2048)
+    model = MLP(16, [32], 4, rng=np.random.default_rng(1))
+    steps = max(SAMPLE_BUDGET // batch_size, 1)
+    scale = batch_size / BASE_BATCH
+    if optimizer_name == "sgd":
+        # Linear LR scaling (Goyal et al.), the standard big-batch rule.
+        optimizer = SGD(model.parameters(), lr=0.1 * scale)
+    else:
+        # LAMB scales with sqrt(batch) and self-normalizes per layer.
+        optimizer = LAMB(model.parameters(), lr=0.02 * np.sqrt(scale),
+                         weight_decay=0.0)
+    trainer = LocalTrainer(model, optimizer, target_batch_size=batch_size,
+                           microbatch_size=min(batch_size, BASE_BATCH))
+    trainer.train_steps(features, labels, num_steps=steps,
+                        rng=np.random.default_rng(2))
+    return cross_entropy(model(Tensor(features)), labels).item()
+
+
+def test_ablation_big_batch(benchmark):
+    batches = (128, 512, 2048, 8192)
+    results = benchmark.pedantic(
+        lambda: {
+            (name, batch): final_loss(name, batch)
+            for name in ("sgd", "lamb")
+            for batch in batches
+        },
+        rounds=1, iterations=1,
+    )
+    print()
+    print(f"{'batch':>6} {'SGD loss':>12} {'LAMB loss':>12}")
+    for batch in batches:
+        print(f"{batch:>6} {results[('sgd', batch)]:>12.4f} "
+              f"{results[('lamb', batch)]:>12.4f}")
+
+    # Small batches: both optimizers learn fine.
+    assert results[("sgd", 128)] < 0.5
+    assert results[("lamb", 128)] < 0.5
+    # LAMB stays trainable across the whole TBS regime.
+    for batch in batches:
+        assert results[("lamb", batch)] < 0.5, batch
+    # SGD under the linear-scaling rule blows up at the largest batch —
+    # the failure mode that makes LAMB a precondition of the study.
+    assert (results[("sgd", 8192)] > 10 * results[("lamb", 8192)]
+            or not np.isfinite(results[("sgd", 8192)]))

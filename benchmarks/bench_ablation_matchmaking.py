@@ -1,0 +1,65 @@
+"""Ablation: the minimum matchmaking time (Section 3, observation 2).
+
+The paper traces the instability of small models at small TBS to the
+5-second matchmaking floor: whenever all peers accumulate the TBS in
+less than that, the asynchronous group-forming thread is still running
+and the averaging time fluctuates. This ablation sweeps the floor and
+shows that (a) small/fast settings are matchmaking-bound, and (b) a
+shorter floor would directly buy throughput there while barely moving
+large-TBS settings.
+"""
+
+from repro.hivemind import HivemindRunConfig, PeerSpec, run_hivemind
+from repro.network import build_topology
+
+
+def run_floor(model, tbs, min_matchmaking_s):
+    counts = {"lambda:us-west": 8}
+    topology = build_topology(counts)
+    peers = [PeerSpec(f"lambda:us-west/{i}", "a10") for i in range(8)]
+    config = HivemindRunConfig(
+        model=model, peers=peers, topology=topology,
+        target_batch_size=tbs, epochs=6,
+        min_matchmaking_s=min_matchmaking_s,
+        monitor_interval_s=None, account_data_loading=False,
+    )
+    return run_hivemind(config)
+
+
+#: (model, TBS) for a matchmaking-bound and a compute-bound setting.
+SMALL = ("rn18", 8192)
+LARGE = ("conv", 32768)
+
+
+def test_ablation_matchmaking_floor(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            (case, floor): run_floor(*case, floor)
+            for case in (SMALL, LARGE)
+            for floor in (1.0, 5.0, 10.0)
+        },
+        rounds=1, iterations=1,
+    )
+    print()
+    for (case, floor), result in sorted(results.items()):
+        print(f"{case[0]:>5} TBS {case[1]:>6}, floor {floor:>4.1f}s: "
+              f"{result.throughput_sps:8.1f} SPS, "
+              f"granularity {result.granularity:.2f}")
+
+    # RN18 at TBS 8K accumulates in ~1 s on 8 A10s: the floor dominates,
+    # so shrinking it from 5 s to 1 s is a big win...
+    small_gain = (results[(SMALL, 1.0)].throughput_sps
+                  / results[(SMALL, 5.0)].throughput_sps)
+    assert small_gain > 1.5
+    # ...while the compute-bound CONV at 32K barely moves.
+    large_gain = (results[(LARGE, 1.0)].throughput_sps
+                  / results[(LARGE, 5.0)].throughput_sps)
+    assert large_gain < small_gain
+    assert large_gain < 1.15
+    # A longer floor always hurts.
+    for case in (SMALL, LARGE):
+        assert (results[(case, 10.0)].throughput_sps
+                < results[(case, 5.0)].throughput_sps * 1.02)
+    # The instability shows up as matchmaking jitter when calc < floor.
+    jitter = [e.matchmaking_s for e in results[(SMALL, 5.0)].epochs]
+    assert max(jitter) > min(jitter)

@@ -1,0 +1,63 @@
+"""Ablation: the square-cube law (Section 9, SWARM discussion).
+
+SWARM's insight, which the paper builds on: growing a model linearly
+grows communication linearly but calculation quadratically, so larger
+models are relatively *easier* to distribute. The paper adds the
+small-model end (granularity decides). This ablation sweeps a synthetic
+transformer family through the analytical predictor and shows both
+regimes: granularity grows roughly linearly with scale, and the
+best-case speedup from doubling the fleet rises accordingly.
+"""
+
+from repro.core import best_speedup_when_doubling, predict
+from repro.models import square_cube_family
+from repro.network import build_topology
+
+
+def sweep():
+    topology = build_topology({"gc:us": 8})
+    peers = [(f"gc:us/{i}", "t4") for i in range(8)]
+    rows = []
+    for spec in square_cube_family(scales=(0.5, 1.0, 2.0, 4.0, 8.0)):
+        prediction = predict(spec, peers, topology)
+        rows.append({
+            "scale": spec.parameters / 50_000_000,
+            "parameters_m": spec.parameters_m,
+            "granularity": prediction.granularity,
+            "doubling_speedup": best_speedup_when_doubling(
+                prediction.granularity
+            ),
+            "transfer_s": prediction.transfer_s,
+            "calc_s": prediction.calc_s,
+        })
+    return rows
+
+
+def test_ablation_square_cube(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for row in rows:
+        print(f"x{row['scale']:<4g} {row['parameters_m']:7.1f}M  "
+              f"granularity {row['granularity']:6.2f}  "
+              f"doubling speedup {row['doubling_speedup']:.2f}x")
+
+    # Communication grows linearly with scale...
+    for a, b in zip(rows, rows[1:]):
+        factor = b["scale"] / a["scale"]
+        comm_growth = b["transfer_s"] / a["transfer_s"]
+        assert abs(comm_growth - factor) / factor < 0.10, (a["scale"],
+                                                           b["scale"])
+    # ...calculation quadratically...
+    for a, b in zip(rows, rows[1:]):
+        factor = (b["scale"] / a["scale"]) ** 2
+        calc_growth = b["calc_s"] / a["calc_s"]
+        assert abs(calc_growth - factor) / factor < 0.10
+    # ...so granularity increases monotonically with model size.
+    granularities = [row["granularity"] for row in rows]
+    assert granularities == sorted(granularities)
+    # The small end is communication-bound (granularity < 1, the
+    # paper's territory); the large end scales nearly ideally.
+    assert granularities[0] < 1.0
+    assert granularities[-1] > 10.0
+    assert rows[-1]["doubling_speedup"] > 1.8
+    assert rows[0]["doubling_speedup"] < 1.4

@@ -1,0 +1,42 @@
+"""Figure 4: TBS vs total training time split, with granularity, 2xA10.
+
+Paper's claims: communication time stays constant across TBS (gradients
+are accumulated before sending), so doubling the TBS doubles the
+granularity; at TBS 32K granularity spans 4.2 (RXLM) to 21.6 (CONV);
+CV models are more granular than NLP models.
+"""
+
+from repro.experiments.figures import figure4
+
+from conftest import run_report
+
+
+def test_fig04_tbs_granularity(benchmark, rows_by):
+    report = run_report(benchmark, figure4)
+    rows = rows_by(report, "model", "tbs")
+
+    # Communication time ~constant across TBS (within jitter) for
+    # models whose accumulation is slower than matchmaking.
+    for model in ("conv", "rxlm", "wrn101", "rlrg"):
+        comms = [rows[(model, tbs)]["comm_s"] for tbs in (8192, 16384, 32768)]
+        assert max(comms) < 1.5 * min(comms), model
+
+    # Doubling TBS ~doubles granularity.
+    for model in ("conv", "rxlm"):
+        g16 = rows[(model, 16384)]["granularity"]
+        g32 = rows[(model, 32768)]["granularity"]
+        assert abs(g32 / g16 - 2.0) < 0.5, model
+
+    # Paper's 32K anchors: CONV 21.6, RXLM 4.2 (within 35%).
+    assert abs(rows[("conv", 32768)]["granularity"] - 21.6) / 21.6 < 0.35
+    assert abs(rows[("rxlm", 32768)]["granularity"] - 4.2) / 4.2 < 0.35
+
+    # All models at 32K have granularity >= ~4 (strong scaling potential).
+    for model in ("rn18", "rn50", "rn152", "wrn101", "conv",
+                  "rbase", "rlrg", "rxlm"):
+        assert rows[(model, 32768)]["granularity"] >= 3.5, model
+
+    # CV (CONV) is more granular than NLP (RXLM) at every TBS.
+    for tbs in (8192, 16384, 32768):
+        assert (rows[("conv", tbs)]["granularity"]
+                > rows[("rxlm", tbs)]["granularity"])

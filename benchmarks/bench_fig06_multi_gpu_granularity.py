@@ -1,0 +1,35 @@
+"""Figure 6: granularity across 2-8 A10 GPUs at TBS 32K.
+
+Paper's claims: granularity decreases as GPUs are added (calculation
+splits, communication grows); RN18 reaches ~1.0 at 8 GPUs; the per-GPU
+contribution to the speedup falls accordingly (RN18: 0.7 -> 0.4).
+"""
+
+from repro.experiments.figures import figure6
+
+from conftest import run_report
+
+
+def test_fig06_multi_gpu_granularity(benchmark, rows_by):
+    report = run_report(benchmark, figure6)
+    rows = rows_by(report, "model", "gpus")
+
+    # Granularity decreases monotonically (within jitter) with GPUs.
+    for model in ("rn18", "rn152", "conv", "rxlm"):
+        g2 = rows[(model, 2)]["granularity"]
+        g8 = rows[(model, 8)]["granularity"]
+        assert g8 < g2, model
+
+    # RN18 lands near granularity 1.0 at 8 GPUs (paper's anchor).
+    assert 0.5 <= rows[("rn18", 8)]["granularity"] <= 2.0
+
+    # Computationally heavy CV models keep the largest granularity.
+    assert rows[("conv", 8)]["granularity"] > rows[("rn18", 8)]["granularity"]
+    assert rows[("rn152", 8)]["granularity"] > rows[("rn18", 8)]["granularity"]
+
+    # Per-GPU contribution falls with more GPUs (RN18: 0.7 -> 0.4).
+    c2 = rows[("rn18", 2)]["per_gpu_contribution"]
+    c8 = rows[("rn18", 8)]["per_gpu_contribution"]
+    assert c8 < c2
+    assert abs(c2 - 0.7) < 0.2
+    assert abs(c8 - 0.4) < 0.2

@@ -1,0 +1,42 @@
+"""Figure 7: (A) intra-zone performance for CV and NLP.
+
+Paper's claims: no improvement at two GPUs (Hivemind penalty), scaling
+from three GPUs on; max speedup 3.2x (CV) and 2.75x (NLP) at eight
+GPUs; CV's per-GPU speedup is almost flat (~0.41-0.43) while NLP's
+falls (0.51 -> 0.34); NLP granularity reaches ~1.15 at A-8.
+"""
+
+from repro.experiments.figures import figure7
+
+from conftest import run_report
+
+
+def test_fig07_intra_zone(benchmark, rows_by):
+    report = run_report(benchmark, figure7)
+    rows = rows_by(report, "task", "experiment")
+
+    # Two GPUs bring no improvement over the baseline for CV.
+    assert rows[("CV", "A-2")]["speedup"] < 1.1
+    # From A-3 onwards, throughput rises monotonically.
+    for task in ("CV", "NLP"):
+        sps = [rows[(task, f"A-{n}")]["sps"] for n in (3, 4, 6, 8)]
+        assert sps == sorted(sps), task
+
+    # Max speedups near the paper's 3.2x / 2.75x.
+    cv8 = rows[("CV", "A-8")]["speedup"]
+    nlp8 = rows[("NLP", "A-8")]["speedup"]
+    assert abs(cv8 - 3.2) / 3.2 < 0.25
+    assert abs(nlp8 - 2.75) / 2.75 < 0.25
+
+    # NLP's per-GPU speedup drops off faster than CV's.
+    cv_drop = (rows[("CV", "A-2")]["speedup"] / 2
+               - rows[("CV", "A-8")]["speedup"] / 8)
+    nlp_drop = (rows[("NLP", "A-2")]["speedup"] / 2
+                - rows[("NLP", "A-8")]["speedup"] / 8)
+    assert nlp_drop > cv_drop
+
+    # NLP granularity ~1.15 at A-8 (communication ~ calculation).
+    assert 0.6 <= rows[("NLP", "A-8")]["granularity"] <= 1.8
+    # CV granularity stays clearly above NLP's.
+    assert (rows[("CV", "A-8")]["granularity"]
+            > 2 * rows[("NLP", "A-8")]["granularity"])

@@ -1,0 +1,46 @@
+"""Figure 8: (B) transatlantic performance for CV and NLP.
+
+Paper's claims: B-2 CV is virtually identical to intra-zone (68.4 vs
+70.1 SPS) while B-2 NLP is ~16% slower (177.3 vs 211.4); the
+transatlantic penalty is paid once — relative scaling with additional
+hardware matches the intra-zone experiments; B-8 CV ends within ~2% of
+A-8 while B-8 NLP is ~22% slower than A-8.
+"""
+
+from repro.experiments.figures import figure7, figure8
+
+from conftest import run_report
+
+
+def test_fig08_transatlantic(benchmark, rows_by):
+    report = run_report(benchmark, figure8)
+    rows = rows_by(report, "task", "experiment")
+    reference = rows_by(figure7(epochs=2), "task", "experiment")
+
+    # B-2 CV ~= A-2 CV (within a few percent).
+    cv_b2 = rows[("CV", "B-2")]["sps"]
+    cv_a2 = reference[("CV", "A-2")]["sps"]
+    assert abs(cv_b2 - cv_a2) / cv_a2 < 0.10
+
+    # B-2 NLP clearly slower than A-2 NLP (paper: -16%).
+    nlp_b2 = rows[("NLP", "B-2")]["sps"]
+    nlp_a2 = reference[("NLP", "A-2")]["sps"]
+    assert 0.05 < 1 - nlp_b2 / nlp_a2 < 0.35
+
+    # B-8: CV within ~10% of A-8, NLP 15-40% slower.
+    cv_gap = 1 - rows[("CV", "B-8")]["sps"] / reference[("CV", "A-8")]["sps"]
+    nlp_gap = 1 - rows[("NLP", "B-8")]["sps"] / reference[("NLP", "A-8")]["sps"]
+    assert cv_gap < 0.10
+    assert 0.10 < nlp_gap < 0.45
+
+    # The penalty is paid once: relative scaling B-2 -> B-8 matches
+    # A-2 -> A-8 within 20%.
+    for task in ("CV", "NLP"):
+        b_scale = rows[(task, "B-8")]["sps"] / rows[(task, "B-2")]["sps"]
+        a_scale = (reference[(task, "A-8")]["sps"]
+                   / reference[(task, "A-2")]["sps"])
+        assert abs(b_scale - a_scale) / a_scale < 0.25, task
+
+    # Granularity: adding GPUs to a high-granularity setting helps more
+    # (B-2 -> B-4 at g >> 1) than to a low-granularity one (B-6 -> B-8).
+    assert rows[("NLP", "B-2")]["granularity"] > rows[("NLP", "B-8")]["granularity"]

@@ -1,0 +1,34 @@
+"""Figure 12: baseline egress rate on 2-8 A10 GPUs.
+
+Paper's claims: the smaller the model, the lower the average egress
+rate over the run — even though small models average much more often,
+their rate stays below larger models'; even RN18 at 8 GPUs is not
+communication-dominated.
+"""
+
+from repro.experiments.figures import figure12
+
+from conftest import run_report
+
+
+def test_fig12_egress_rate(benchmark, rows_by):
+    report = run_report(benchmark, figure12)
+    rows = rows_by(report, "model", "gpus")
+
+    # Smaller models produce lower egress at every GPU count
+    # (compare within the CV family and within the NLP family).
+    for n in (2, 4, 8):
+        assert (rows[("rn18", n)]["egress_mbps_per_vm"]
+                < rows[("rn50", n)]["egress_mbps_per_vm"]), n
+        assert (rows[("rn50", n)]["egress_mbps_per_vm"]
+                < rows[("conv", n)]["egress_mbps_per_vm"]), n
+        assert (rows[("rbase", n)]["egress_mbps_per_vm"]
+                < rows[("rxlm", n)]["egress_mbps_per_vm"]), n
+
+    # Even the smallest model is not communication-dominated at 8 GPUs:
+    # its egress rate stays a small fraction of the averaging cap.
+    assert rows[("rn18", 8)]["egress_mbps_per_vm"] < 0.5 * 1100.0
+
+    # Egress rates are physically sensible (below the per-VM cap).
+    for row in report.rows:
+        assert 0 < row["egress_mbps_per_vm"] <= 1150.0

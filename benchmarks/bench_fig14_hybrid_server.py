@@ -1,0 +1,38 @@
+"""Figure 14: hybrid-cloud experiments for the (F) DGX-2 setting.
+
+Paper's claims: the 8xV100 baseline is much higher (413 CV / 1811 NLP),
+so penalties grow — only F-A-8 and F-C-8 beat the CV baseline; the NLP
+experiments never reach the baseline and the remote variants are almost
+pure communication (granularity down to ~0.02 for F-B/F-C NLP).
+"""
+
+from repro.experiments.figures import figure14
+
+from conftest import run_report
+
+
+def test_fig14_hybrid_server(benchmark, rows_by):
+    report = run_report(benchmark, figure14)
+    rows = rows_by(report, "task", "experiment")
+    baseline_cv = rows[("CV", "DGX-2")]["sps"]
+    baseline_nlp = rows[("NLP", "DGX-2")]["sps"]
+    assert baseline_cv == 413.0
+    assert baseline_nlp == 1811.0
+
+    # CV: eight local T4s or eight A10s eventually beat the baseline...
+    assert rows[("CV", "F-A-8")]["sps"] > baseline_cv * 0.9
+    assert rows[("CV", "F-C-8")]["sps"] > baseline_cv * 0.9
+    # ...but small additions never do.
+    for variant in ("A", "B", "C"):
+        assert rows[("CV", f"F-{variant}-1")]["sps"] < baseline_cv
+
+    # NLP: no hybrid configuration reaches the 8xV100 baseline.
+    for variant in ("A", "B", "C"):
+        for n in (1, 2, 4, 8):
+            assert rows[("NLP", f"F-{variant}-{n}")]["sps"] < baseline_nlp
+
+    # NLP remote variants are communication-bound: tiny granularity.
+    assert rows[("NLP", "F-B-8")]["granularity"] < 0.5
+    assert rows[("NLP", "F-C-8")]["granularity"] < 0.5
+    # F-A-8 CV keeps enough calculation to distribute (paper: 2.46).
+    assert rows[("CV", "F-A-8")]["granularity"] > 1.5

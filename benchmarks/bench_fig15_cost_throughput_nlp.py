@@ -1,0 +1,35 @@
+"""Figure 15: cost-to-throughput tradeoff for RoBERTaXLM.
+
+Paper's claims: for the low-granularity NLP task the distributed setups
+are *neither* cheaper nor faster than the DGX-2; the 8xA10 is ~41%
+slower and ~30% more expensive; the 8xT4 is the worst value because
+internal egress takes over half of its metered cost; 4xT4 DDP is
+unavailable (OOM).
+"""
+
+from repro.experiments.figures import figure15
+
+from conftest import run_report
+
+
+def test_fig15_cost_throughput_nlp(benchmark):
+    report = run_report(benchmark, figure15)
+    by_setup = {row["setup"]: row for row in report.rows}
+    dgx = by_setup["DGX-2"]
+    t4x8 = by_setup["A-8"]
+    a10x8 = by_setup["A10-8"]
+
+    # The DGX-2 wins on throughput for NLP.
+    assert dgx["sps"] > a10x8["sps"] > t4x8["sps"]
+    # 8xA10 is slower (paper: ~41%) and pricier per sample than DGX-2.
+    slowdown = 1 - a10x8["sps"] / dgx["sps"]
+    assert 0.25 < slowdown < 0.60
+    assert a10x8["usd_per_1m"] > dgx["usd_per_1m"]
+    # 8xT4 metered (incl. internal egress) is the worst value of all.
+    assert t4x8["usd_per_1m_metered"] > dgx["usd_per_1m"]
+    assert t4x8["usd_per_1m_metered"] > a10x8["usd_per_1m_metered"]
+    # Internal egress takes more than half of 8xT4's metered cost.
+    assert t4x8["usd_per_1m_metered"] > 2 * t4x8["usd_per_1m"]
+    # 4xT4 DDP is reported unavailable (OOM), exactly as in the paper.
+    assert by_setup["4xT4-DDP"]["sps"] is None
+    assert "OOM" in by_setup["4xT4-DDP"]["kind"]

@@ -1,0 +1,36 @@
+"""Figure 16: WhisperSmall performance with varying TBS (Section 11).
+
+Paper's claims: the original TBS of 256 is too small — no performance
+benefit over a single GPU; raising the TBS to 512 and 1024 yields
+1.27x and 2.2x speedups on 8xT4; the granularity at 8xT4/TBS-1024 is
+~1.17, so scaling beyond eight GPUs is not worthwhile.
+"""
+
+from repro.experiments.figures import figure16
+
+from conftest import run_report
+
+
+def test_fig16_whisper_tbs(benchmark, rows_by):
+    report = run_report(benchmark, figure16)
+    rows = {(r["tbs"], r["gpus"]): r for r in report.rows}
+    baseline = rows[(None, 1)]["sps"]
+
+    # TBS 256 on 8xT4: no meaningful benefit (paper: none at all).
+    assert rows[(256, 8)]["sps"] < 1.35 * baseline
+
+    # TBS 512 and 1024 unlock speedups (paper: 1.27x and 2.2x).
+    assert 1.0 < rows[(512, 8)]["speedup"] <= 2.0
+    assert 1.6 < rows[(1024, 8)]["speedup"] < 2.9
+
+    # Throughput increases with TBS at fixed GPU count.
+    for n in (2, 4, 8):
+        assert rows[(1024, n)]["sps"] >= rows[(256, n)]["sps"], n
+
+    # Granularity at 8xT4 / TBS 1024 lands near the paper's 1.17 —
+    # too low to scale past eight GPUs.
+    g = rows[(1024, 8)]["granularity"]
+    assert 0.7 < g < 1.8
+
+    # The 8xT4 absolute throughput lands near the paper's 28 SPS.
+    assert abs(rows[(1024, 8)]["sps"] - 28.0) / 28.0 < 0.35

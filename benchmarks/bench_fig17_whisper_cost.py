@@ -1,0 +1,36 @@
+"""Figure 17: cost-to-throughput for WhisperSmall at TBS 1024.
+
+Paper's claims: the A100 is fastest (46 SPS, $12.19/1M); the 4xT4 DDP
+node is cheaper but slower (24 SPS, $8.41/1M); the 8xT4 spot setup sits
+in between on speed (28 SPS) but is the most expensive per sample
+($14.53/1M) — a mixed result, with resilience and scalability as the
+remaining arguments for it.
+"""
+
+from repro.experiments.figures import figure17
+
+from conftest import run_report
+
+
+def test_fig17_whisper_cost(benchmark):
+    report = run_report(benchmark, figure17)
+    by_setup = {row["setup"]: row for row in report.rows}
+    a100 = by_setup["A100"]
+    ddp = by_setup["4xT4-DDP"]
+    ours = by_setup["A-8"]
+
+    # Paper's exact centralized anchors.
+    assert a100["sps"] == 46.0
+    assert ddp["sps"] == 24.0
+    assert abs(a100["usd_per_1m"] - 12.19) < 0.15
+    assert abs(ddp["usd_per_1m"] - 8.41) < 0.15
+
+    # Ordering: A100 fastest; 8xT4 faster than the DDP node but slower
+    # than the A100.
+    assert a100["sps"] > ours["sps"] > ddp["sps"]
+    # 8xT4 lands near the paper's 28 SPS.
+    assert abs(ours["sps"] - 28.0) / 28.0 < 0.35
+    # The DDP node is the cheapest per sample; our setup the priciest
+    # (paper: 8.41 < 12.19 < 14.53).
+    assert ddp["usd_per_1m"] < a100["usd_per_1m"]
+    assert ours["usd_per_1m"] > ddp["usd_per_1m"]

@@ -1,0 +1,32 @@
+"""Section 7 microbenchmark: multi-stream TCP bandwidth.
+
+Paper's claims: the 300+ ms intercontinental RTT limits a single TCP
+stream to 50-80 Mb/s; opening many streams recovers the path capacity —
+with 80 clients the on-premise node reaches ~6 Gb/s within the EU and
+up to 4 Gb/s to the US.
+"""
+
+from repro.experiments.figures import section7_tcp
+
+from conftest import run_report
+
+
+def test_sec7_multistream_tcp(benchmark, rows_by):
+    report = run_report(benchmark, section7_tcp)
+    rows = rows_by(report, "destination", "streams")
+
+    # Single stream to the US: RTT-bound at 50-80 Mb/s.
+    assert 0.040 <= rows[("US", 1)]["gbps"] <= 0.085
+
+    # Bandwidth grows with stream count until the capacity saturates.
+    for destination in ("EU", "US"):
+        series = [rows[(destination, s)]["gbps"]
+                  for s in (1, 2, 4, 8, 16, 40, 80)]
+        assert all(b >= a for a, b in zip(series, series[1:])), destination
+
+    # 80 streams: ~6 Gb/s within the EU, ~4 Gb/s to the US.
+    assert abs(rows[("EU", 80)]["gbps"] - 6.0) / 6.0 < 0.05
+    assert abs(rows[("US", 80)]["gbps"] - 4.0) / 4.0 < 0.05
+
+    # Small stream counts scale nearly linearly (2 streams ~ 2x).
+    assert rows[("US", 2)]["gbps"] > 1.8 * rows[("US", 1)]["gbps"]

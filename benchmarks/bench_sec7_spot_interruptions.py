@@ -1,0 +1,36 @@
+"""Section 7: spot interruption frequency as a throughput penalty.
+
+Paper's claims: the interruption frequency acts roughly as a direct
+throughput penalty — "a 5% interruption frequency over the entire
+training time means roughly a 5% slower training" — because restart
+plus resynchronization (at worst two hivemind epochs) removes the peer
+for a bounded time and data parallelism degrades gracefully.
+"""
+
+from repro.experiments.figures import section7_spot
+
+from conftest import run_report
+
+
+def test_sec7_spot_interruptions(benchmark):
+    report = run_report(benchmark, section7_spot)
+    by_rate = {row["monthly_rate"]: row for row in report.rows}
+
+    # No interruptions -> full uptime.
+    assert by_rate[0.0]["uptime_fraction"] == 1.0
+    assert by_rate[0.0]["interruptions"] == 0
+
+    # Uptime decreases monotonically with the interruption rate.
+    rates = sorted(by_rate)
+    uptimes = [by_rate[r]["uptime_fraction"] for r in rates]
+    assert all(b <= a + 1e-9 for a, b in zip(uptimes, uptimes[1:]))
+
+    # Interruptions occur and scale with the rate.
+    assert by_rate[0.05]["interruptions"] >= 1
+    assert by_rate[0.50]["interruptions"] > by_rate[0.05]["interruptions"]
+
+    # With fast re-provisioning the penalty stays small — the paper's
+    # linear rule bounds it: penalty <= interruption fraction.
+    for rate in (0.05, 0.10, 0.20):
+        penalty = by_rate[rate]["throughput_penalty_pct"] / 100.0
+        assert penalty <= rate + 0.01, rate

@@ -1,0 +1,30 @@
+"""Table 1: average us-west cloud pricing (April 2023)."""
+
+import pytest
+
+from repro.experiments.figures import table1
+
+from conftest import run_report
+
+
+def test_table1_pricing(benchmark):
+    report = run_report(benchmark, table1)
+    by_item = {row["item"]: row for row in report.rows}
+    spot = by_item["T4 Spot ($/h)"]
+    ondemand = by_item["T4 On-Demand ($/h)"]
+    # Exact Table 1 values.
+    assert (spot["GC"], spot["AWS"], spot["Azure"]) == (0.180, 0.395, 0.134)
+    assert (ondemand["GC"], ondemand["AWS"], ondemand["Azure"]) == (
+        0.572, 0.802, 0.489
+    )
+    # Shape: spot is a 40-90% discount everywhere (Section 1).
+    for cloud in ("GC", "AWS", "Azure"):
+        discount = 1 - spot[cloud] / ondemand[cloud]
+        assert 0.40 <= discount <= 0.90
+    # Shape: AWS caps egress at $0.02/GB; GC's ANY-OCE is the most
+    # expensive traffic class at $0.15/GB.
+    oce = by_item["Traffic ANY-OCE"]
+    assert oce["GC"] == 0.15
+    assert oce["AWS"] == 0.02
+    between = by_item["Traffic between continents"]
+    assert between["AWS"] <= between["GC"]

@@ -1,0 +1,31 @@
+"""Table 2: the geo-distributed experiment matrix on GC T4 VMs."""
+
+from repro.experiments.figures import table2
+
+from conftest import run_report
+
+
+def test_table2_geo_matrix(benchmark):
+    report = run_report(benchmark, table2)
+    by_key = {row["experiment"]: row for row in report.rows}
+
+    # A-experiments: 1,2,3,4,6,8 VMs, all in the US.
+    for n in (1, 2, 3, 4, 6, 8):
+        row = by_key[f"A-{n}"]
+        assert row["total"] == n
+        assert row["resources"] == f"{n}xgc:us"
+
+    # B-experiments: even US/EU splits of 2,4,6,8.
+    for n in (2, 4, 6, 8):
+        row = by_key[f"B-{n}"]
+        assert row["total"] == n
+        assert f"{n // 2}xgc:us" in row["resources"]
+        assert f"{n // 2}xgc:eu" in row["resources"]
+
+    # C-experiments: three continents for C-3/C-6, four for C-4/C-8.
+    assert by_key["C-3"]["total"] == 3
+    assert by_key["C-4"]["total"] == 4
+    assert by_key["C-6"]["total"] == 6
+    assert by_key["C-8"]["total"] == 8
+    assert "gc:aus" in by_key["C-8"]["resources"]
+    assert "gc:aus" not in by_key["C-6"]["resources"]

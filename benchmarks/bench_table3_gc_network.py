@@ -1,0 +1,46 @@
+"""Table 3: throughput and latency between Google Cloud zones.
+
+Paper's claims: ~7 Gb/s at 0.7 ms within a zone; every non-local
+connection drops below 210 Mb/s; the US is the best-connected region;
+the EU-ASIA/EU-AUS links are the worst (~80 Mb/s at ~270 ms).
+"""
+
+from repro.experiments.figures import table3
+
+from conftest import run_report
+
+
+def pair(report, a, b):
+    return next(r for r in report.rows if r["from"] == a and r["to"] == b)
+
+
+def test_table3_gc_network(benchmark):
+    report = run_report(benchmark, table3)
+
+    # Local connectivity ~6.91 Gb/s at ~0.7 ms.
+    local = pair(report, "gc:us", "gc:us")
+    assert abs(local["gbps"] - 6.91) / 6.91 < 0.10
+    assert local["rtt_ms"] < 2.0
+
+    # All non-local single-stream links below 210 Mb/s.
+    for row in report.rows:
+        if row["from"] != row["to"]:
+            assert row["gbps"] <= 0.215, (row["from"], row["to"])
+
+    # US is best connected: its worst link beats the EU's worst link.
+    def worst(region):
+        return min(row["gbps"] for row in report.rows
+                   if row["from"] == region and row["to"] != region)
+
+    assert worst("gc:us") > worst("gc:eu")
+    assert worst("gc:us") >= 0.100  # at least ~120 Mb/s in the paper
+
+    # EU <-> ASIA: ~80 Mb/s at ~270 ms.
+    eu_asia = pair(report, "gc:eu", "gc:asia")
+    assert abs(eu_asia["gbps"] - 0.080) / 0.080 < 0.25
+    assert abs(eu_asia["rtt_ms"] - 270.0) / 270.0 < 0.10
+
+    # Symmetric up/down (the paper found perfect symmetry).
+    for row in report.rows:
+        reverse = pair(report, row["to"], row["from"])
+        assert abs(row["gbps"] - reverse["gbps"]) / max(row["gbps"], 1e-9) < 0.05

@@ -1,0 +1,33 @@
+"""Table 5: average hybrid-cloud throughput and latency.
+
+Paper's claims: the on-premise building reaches ~0.45-0.55 Gb/s to the
+EU data center at ~16-17 ms; only 0.05-0.08 Gb/s to the US-based VMs at
+~150-159 ms (the single-TCP-stream limit of Section 7).
+"""
+
+from repro.experiments.figures import table5
+
+from conftest import run_report
+
+
+def pair(report, a, b):
+    return next(r for r in report.rows if r["from"] == a and r["to"] == b)
+
+
+def test_table5_hybrid_network(benchmark):
+    report = run_report(benchmark, table5)
+
+    to_eu = pair(report, "onprem:eu", "gc:eu")
+    assert 0.35 <= to_eu["gbps"] <= 0.65  # paper: 0.45-0.55
+    assert abs(to_eu["rtt_ms"] - 16.5) / 16.5 < 0.15
+
+    to_us_t4 = pair(report, "onprem:eu", "gc:us")
+    assert 0.04 <= to_us_t4["gbps"] <= 0.09  # paper: 0.06-0.08
+    assert abs(to_us_t4["rtt_ms"] - 150.5) / 150.5 < 0.10
+
+    to_us_a10 = pair(report, "onprem:eu", "lambda:us-west")
+    assert 0.04 <= to_us_a10["gbps"] <= 0.09  # paper: 0.05-0.07
+    assert abs(to_us_a10["rtt_ms"] - 158.8) / 158.8 < 0.10
+
+    # EU cloud is an order of magnitude closer than the US options.
+    assert to_eu["gbps"] > 5 * to_us_t4["gbps"]

@@ -1,0 +1,34 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints the rows (visible with ``pytest -s`` or in the benchmark report)
+and asserts the paper's qualitative claims: who wins, by roughly what
+factor, and where the crossovers fall. Absolute numbers come from the
+calibrated simulator, so they are close to — but not exactly — the
+paper's testbed measurements; EXPERIMENTS.md records both.
+"""
+
+import pytest
+
+from repro.experiments import render
+
+
+def run_report(benchmark, generator, epochs=2):
+    """Execute a report generator once under pytest-benchmark."""
+    report = benchmark.pedantic(generator, kwargs={"epochs": epochs},
+                                rounds=1, iterations=1)
+    print()
+    print(render(report))
+    return report
+
+
+@pytest.fixture
+def rows_by():
+    """Index report rows by a tuple of column values."""
+
+    def index(report, *columns):
+        return {
+            tuple(row[c] for c in columns): row for row in report.rows
+        }
+
+    return index

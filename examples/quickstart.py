@@ -1,0 +1,57 @@
+"""Quickstart: simulate a geo-distributed spot training run.
+
+Simulates training ConvNextLarge (the paper's CV workload) on eight
+spot T4 VMs spread over two continents, then asks the planner whether
+the setup is worth scaling further.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import HivemindRunConfig, PeerSpec, build_topology, run_hivemind
+from repro.core import cost_report, evaluate_setup
+
+
+def main() -> None:
+    # Four T4 VMs in the US, four in the EU — the paper's B-8 setup.
+    counts = {"gc:us": 4, "gc:eu": 4}
+    topology = build_topology(counts)
+    peers = [PeerSpec(f"{loc}/{i}", "t4")
+             for loc, n in counts.items() for i in range(n)]
+
+    config = HivemindRunConfig(
+        model="conv",               # ConvNextLarge, 197.8M parameters
+        peers=peers,
+        topology=topology,
+        target_batch_size=32768,    # the paper's sweet spot
+        epochs=5,
+    )
+    result = run_hivemind(config)
+
+    print("=== transatlantic training of ConvNextLarge (B-8) ===")
+    print(f"throughput        : {result.throughput_sps:.1f} samples/s")
+    print(f"granularity       : {result.granularity:.2f} "
+          "(calculation / communication time)")
+    print(f"hivemind epochs   : {len(result.epochs)}")
+    for epoch in result.epochs[:3]:
+        print(f"  epoch {epoch.index}: calc {epoch.calc_s:.1f}s, "
+              f"matchmaking {epoch.matchmaking_s:.1f}s, "
+              f"transfer {epoch.transfer_s:.1f}s")
+
+    report = cost_report(result)
+    print(f"VM cost           : ${report.hourly_vm:.2f}/h (spot)")
+    print(f"egress cost       : ${report.hourly_egress:.2f}/h")
+    print(f"data loading      : ${report.hourly_data_loading:.2f}/h (B2)")
+    print(f"cost per 1M samples: ${report.usd_per_million_samples:.2f}")
+
+    print("\n=== planner: should we double the fleet? ===")
+    advice = evaluate_setup("conv", [(p.site, p.gpu) for p in peers],
+                            topology)
+    print(f"best speedup from doubling: {advice.best_doubling_speedup:.2f}x")
+    for note in advice.notes:
+        print(f"  - {note}")
+
+
+if __name__ == "__main__":
+    main()

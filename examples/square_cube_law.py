@@ -1,0 +1,49 @@
+"""The square-cube law, from the paper's small models to SWARM's big ones.
+
+SWARM (cited in Section 9) argues that scaling a model up makes it
+*relatively* cheaper to distribute: communication grows linearly with
+the parameter count, calculation quadratically. The paper studies the
+other end — small models where granularity decides. This example walks
+the whole axis with a synthetic transformer family and the analytical
+predictor, and shows where the paper's 12M-560M models sit on it.
+"""
+
+from repro.core import best_speedup_when_doubling, predict
+from repro.models import NLP_KEYS, get_model, square_cube_family
+from repro.network import build_topology
+
+
+def main() -> None:
+    counts = {"gc:us": 8}
+    topology = build_topology(counts)
+    peers = [(f"gc:us/{i}", "t4") for i in range(8)]
+
+    print("=== synthetic transformer family (FLOPs ~ size^2) ===")
+    print(f"{'model':>24} {'params':>9} {'calc_s':>8} {'comm_s':>8} "
+          f"{'gran':>7} {'2x speedup':>11}")
+    for spec in square_cube_family(scales=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0)):
+        p = predict(spec, peers, topology)
+        print(f"{spec.name:>24} {spec.parameters_m:>8.1f}M "
+              f"{p.calc_s:>8.1f} {p.comm_s:>8.1f} {p.granularity:>7.2f} "
+              f"{best_speedup_when_doubling(p.granularity):>10.2f}x")
+
+    print("\n=== the paper's real NLP models on the same fleet ===")
+    for key in NLP_KEYS:
+        spec = get_model(key)
+        p = predict(spec, peers, topology)
+        print(f"{spec.name:>24} {spec.parameters_m:>8.1f}M "
+              f"{p.calc_s:>8.1f} {p.comm_s:>8.1f} {p.granularity:>7.2f} "
+              f"{best_speedup_when_doubling(p.granularity):>10.2f}x")
+
+    print(
+        "\nReading: under the square-cube law granularity grows with model\n"
+        "size, so big models distribute almost for free (SWARM's regime).\n"
+        "The paper's real models break the clean law because their\n"
+        "architectures differ (embedding lookups, wide layers) — which is\n"
+        "exactly why the paper proposes measuring granularity instead of\n"
+        "inferring it from the parameter count."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""WebDataset data path: shards, object store, cache, and the bill.
+
+Builds a small synthetic dataset, packs it into WebDataset tar shards,
+uploads them to a simulated Backblaze-B2 bucket, and streams two
+training epochs through the local disk cache — showing the paper's
+"one-time egress cost" behaviour and the resulting storage/egress bill.
+"""
+
+import io
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import ObjectStore, WebDataset, batched, write_shards
+
+
+def build_samples(n: int):
+    rng = np.random.default_rng(0)
+    for i in range(n):
+        buffer = io.BytesIO()
+        np.save(buffer, rng.normal(size=(8, 8)).astype(np.float32))
+        yield f"{i:06d}", {
+            "npy": buffer.getvalue(),
+            "cls": str(int(rng.integers(0, 10))).encode(),
+        }
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-webdataset-"))
+    shard_dir = workdir / "build"
+    cache_dir = workdir / "cache"
+
+    paths = write_shards(shard_dir, build_samples(200), samples_per_shard=50)
+    print(f"wrote {len(paths)} shards under {shard_dir}")
+
+    store = ObjectStore(egress_price_per_gb=0.01,
+                        storage_price_per_gb_month=0.005)
+    for path in paths:
+        store.put(f"imagenet-mini/{path.name}", path.read_bytes())
+    print(f"bucket holds {len(store)} objects, "
+          f"{store.stored_bytes / 1e6:.2f} MB "
+          f"(${store.monthly_storage_cost():.6f}/month storage)")
+
+    dataset = WebDataset(store, cache_dir, prefix="imagenet-mini/")
+
+    for epoch in (1, 2):
+        n_batches = 0
+        for batch in batched(iter(dataset), 32):
+            n_batches += 1
+            assert all(sample["npy"].shape == (8, 8) for sample in batch)
+        print(f"epoch {epoch}: {n_batches} batches, "
+              f"cache hits={dataset.cache.hits} "
+              f"misses={dataset.cache.misses}, "
+              f"B2 egress so far: {store.egress_bytes / 1e6:.2f} MB "
+              f"(${store.egress_cost:.6f})")
+
+    print("the second epoch was served entirely from the local cache — "
+          "dataset egress is a one-time cost, exactly as the paper argues.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,211 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    repro list                      # all table/figure ids
+    repro run fig01                 # regenerate Figure 1
+    repro run table3 --epochs 5     # more averaging epochs
+    repro run fig07 --format csv    # machine-readable output
+    repro run all                   # everything (slow)
+    repro advise conv gc:us=8       # planner advice for a setup
+    repro validate                  # paper-fidelity scorecard
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import sys
+
+from .core import evaluate_setup
+from .experiments import (
+    generate,
+    render,
+    render_scorecard,
+    report_keys,
+    run_validation,
+)
+from .network import build_topology
+
+__all__ = ["main"]
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for key in report_keys():
+        print(key)
+    return 0
+
+
+def _format_report(report, fmt: str) -> str:
+    if fmt == "text":
+        return render(report)
+    if fmt == "json":
+        return json.dumps(
+            {"key": report.key, "title": report.title, "rows": report.rows,
+             "notes": report.notes},
+            indent=2, default=str,
+        )
+    if fmt == "csv":
+        buffer = io.StringIO()
+        if report.rows:
+            writer = csv.DictWriter(buffer, fieldnames=list(report.rows[0]))
+            writer.writeheader()
+            writer.writerows(report.rows)
+        return buffer.getvalue().rstrip("\n")
+    raise ValueError(f"unknown format {fmt!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    keys = report_keys() if args.report == "all" else [args.report]
+    chunks = []
+    for key in keys:
+        report = generate(key, epochs=args.epochs)
+        chunks.append(_format_report(report, args.format))
+    output = "\n\n".join(chunks)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(output)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    rows = run_validation(epochs=args.epochs)
+    print(render_scorecard(rows))
+    failed = sum(1 for row in rows if not row.ok)
+    return 1 if failed else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import write_markdown_report
+
+    keys = None if args.reports == "all" else args.reports.split(",")
+    path = write_markdown_report(args.output, keys=keys, epochs=args.epochs,
+                                 include_scorecard=not args.no_scorecard)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments import SweepGrid, run_sweep
+
+    grid = SweepGrid(
+        models=tuple(args.models.split(",")),
+        experiments=tuple(args.experiments.split(",")),
+        target_batch_sizes=tuple(int(t) for t in args.tbs.split(",")),
+    )
+    sweep = run_sweep(grid, epochs=args.epochs)
+    for row in sweep.rows():
+        print(row)
+    for point, error in sweep.failures:
+        print(f"failed {point}: {error}")
+    if args.output:
+        if args.output.endswith(".json"):
+            sweep.to_json(args.output)
+        else:
+            sweep.to_csv(args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _parse_setup(tokens: list[str]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for token in tokens:
+        location, __, count = token.partition("=")
+        counts[location] = int(count) if count else 1
+    return counts
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    counts = _parse_setup(args.setup)
+    topology = build_topology(counts)
+    peers = []
+    for location, n in counts.items():
+        gpu = "a10" if location.startswith("lambda") else args.gpu
+        for i in range(n):
+            peers.append((f"{location}/{i}", gpu))
+    advice = evaluate_setup(args.model, peers, topology,
+                            target_batch_size=args.tbs)
+    prediction = advice.prediction
+    print(f"model: {args.model}, TBS: {args.tbs}, peers: {len(peers)}")
+    print(f"predicted throughput : {prediction.throughput_sps:.1f} SPS")
+    print(f"calc / matchmaking / transfer per epoch: "
+          f"{prediction.calc_s:.1f}s / {prediction.matchmaking_s:.1f}s / "
+          f"{prediction.transfer_s:.1f}s")
+    print(f"granularity          : {prediction.granularity:.2f}")
+    print(f"VM cost              : ${advice.hourly_vm_usd:.2f}/h")
+    print(f"egress estimate      : ${advice.hourly_egress_usd_estimate:.2f}/h")
+    print(f"scalable             : {'yes' if advice.scalable else 'no'}")
+    for note in advice.notes:
+        print(f"  - {note}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'How Can We Train Deep Learning Models "
+                    "Across Clouds and Continents?' (PVLDB 17(6))",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all table/figure ids").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="regenerate a table or figure")
+    run.add_argument("report", help="report id (see 'repro list') or 'all'")
+    run.add_argument("--epochs", type=int, default=3,
+                     help="hivemind epochs to simulate per experiment")
+    run.add_argument("--format", choices=("text", "csv", "json"),
+                     default="text")
+    run.add_argument("--output", help="write to a file instead of stdout")
+    run.set_defaults(func=_cmd_run)
+
+    validate = sub.add_parser(
+        "validate", help="check every paper anchor against the simulation"
+    )
+    validate.add_argument("--epochs", type=int, default=3)
+    validate.set_defaults(func=_cmd_validate)
+
+    sweep = sub.add_parser("sweep", help="run a grid of experiments")
+    sweep.add_argument("--models", required=True,
+                       help="comma-separated model keys")
+    sweep.add_argument("--experiments", required=True,
+                       help="comma-separated experiment keys")
+    sweep.add_argument("--tbs", default="32768",
+                       help="comma-separated target batch sizes")
+    sweep.add_argument("--epochs", type=int, default=3)
+    sweep.add_argument("--output", help=".csv or .json output file")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    report = sub.add_parser(
+        "report", help="write all regenerated tables/figures to markdown"
+    )
+    report.add_argument("--output", default="results.md")
+    report.add_argument("--reports", default="all",
+                        help="comma-separated ids, or 'all'")
+    report.add_argument("--epochs", type=int, default=3)
+    report.add_argument("--no-scorecard", action="store_true")
+    report.set_defaults(func=_cmd_report)
+
+    advise = sub.add_parser(
+        "advise", help="planner advice for a candidate setup"
+    )
+    advise.add_argument("model", help="model key (e.g. conv, rxlm)")
+    advise.add_argument("setup", nargs="+",
+                        help="location=count tokens, e.g. gc:us=4 gc:eu=4")
+    advise.add_argument("--tbs", type=int, default=32768)
+    advise.add_argument("--gpu", default="t4")
+    advise.set_defaults(func=_cmd_advise)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

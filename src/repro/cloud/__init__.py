@@ -1,0 +1,60 @@
+"""Cloud substrate: providers, pricing, instances, spot lifecycle."""
+
+from .allocator import FleetEvent, SpotFleet, VmSlot
+from .broker import BrokeredFleet, Placement, ZoneOffer
+from .carbon import (
+    GPU_POWER_W,
+    REGION_INTENSITY,
+    CarbonIntensity,
+    emissions_per_million_samples,
+    run_emissions_kg,
+)
+from .instances import (
+    INSTANCE_TYPES,
+    InstanceType,
+    get_instance_type,
+    host_ram_required_gb,
+)
+from .pricing import (
+    B2_EGRESS_PER_GB,
+    B2_STORAGE_PER_GB_MONTH,
+    PRICING,
+    ProviderPricing,
+    egress_price_per_gb,
+    instance_price_per_hour,
+)
+from .spot import (
+    InterruptionModel,
+    expected_downtime_fraction,
+    expected_throughput_penalty,
+)
+from .spot_market import SpotPriceModel, price_series
+
+__all__ = [
+    "B2_EGRESS_PER_GB",
+    "B2_STORAGE_PER_GB_MONTH",
+    "BrokeredFleet",
+    "CarbonIntensity",
+    "FleetEvent",
+    "GPU_POWER_W",
+    "Placement",
+    "REGION_INTENSITY",
+    "SpotPriceModel",
+    "ZoneOffer",
+    "emissions_per_million_samples",
+    "price_series",
+    "run_emissions_kg",
+    "INSTANCE_TYPES",
+    "InstanceType",
+    "InterruptionModel",
+    "PRICING",
+    "ProviderPricing",
+    "SpotFleet",
+    "VmSlot",
+    "egress_price_per_gb",
+    "expected_downtime_fraction",
+    "expected_throughput_penalty",
+    "get_instance_type",
+    "host_ram_required_gb",
+    "instance_price_per_hour",
+]

@@ -1,0 +1,145 @@
+"""Spot fleet allocation with SkyPilot-style automatic re-provisioning.
+
+A :class:`SpotFleet` maintains a set of VM *slots*, each pinned to a
+network site and an instance type. When the interruption model
+terminates a VM, the fleet provisions a replacement after a startup
+delay (seconds to minutes; manual deployment took the paper up to ten
+minutes) plus a training-state resynchronization period (at worst two
+hivemind epochs, Section 7). Observers — e.g. the training orchestrator
+— subscribe to up/down transitions.
+
+The fleet also keeps a full availability timeline so experiments can
+report the achieved uptime fraction, which is what the paper's
+"interruption frequency acts as a throughput penalty" rule is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..simulation import Environment
+from .instances import InstanceType
+from .spot import InterruptionModel
+
+__all__ = ["SpotFleet", "VmSlot", "FleetEvent"]
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One up/down transition of a fleet slot."""
+
+    time_s: float
+    slot_index: int
+    site: str
+    up: bool
+
+
+@dataclass(eq=False)
+class VmSlot:
+    """One logical VM the fleet keeps alive."""
+
+    index: int
+    site: str
+    instance_type: InstanceType
+    spot: bool = True
+    up: bool = False
+    interruptions: int = 0
+
+
+class SpotFleet:
+    """Keeps ``len(slots)`` VMs running, replacing terminated ones."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: np.random.Generator,
+        slots: list[tuple[str, InstanceType]],
+        interruption_model: Optional[InterruptionModel] = None,
+        startup_s: float = 120.0,
+        resync_s: float = 60.0,
+        spot: bool = True,
+    ):
+        self.env = env
+        self.rng = rng
+        self.interruption_model = interruption_model
+        self.startup_s = startup_s
+        self.resync_s = resync_s
+        self.spot = spot
+        self.slots = [
+            VmSlot(index=i, site=site, instance_type=itype, spot=spot)
+            for i, (site, itype) in enumerate(slots)
+        ]
+        self.events: list[FleetEvent] = []
+        self._listeners: list[Callable[[FleetEvent], None]] = []
+        for slot in self.slots:
+            env.process(self._run_slot(slot))
+
+    # -- observation ------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[FleetEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for slot in self.slots if slot.up)
+
+    @property
+    def total_interruptions(self) -> int:
+        return sum(slot.interruptions for slot in self.slots)
+
+    def uptime_fraction(self, horizon_s: float) -> float:
+        """Average fraction of slot-time spent up over ``[0, horizon]``."""
+        if horizon_s <= 0 or not self.slots:
+            return 0.0
+        up_since: dict[int, float] = {}
+        total_up = 0.0
+        for event in self.events:
+            when = min(event.time_s, horizon_s)
+            if event.up:
+                up_since[event.slot_index] = when
+            elif event.slot_index in up_since:
+                total_up += when - up_since.pop(event.slot_index)
+        for started in up_since.values():
+            total_up += max(horizon_s - started, 0.0)
+        return total_up / (horizon_s * len(self.slots))
+
+    def hourly_cost(self) -> float:
+        """Aggregate VM cost per hour while all slots are up."""
+        return sum(
+            slot.instance_type.price_per_hour(spot=slot.spot) for slot in self.slots
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _emit(self, slot: VmSlot, up: bool) -> None:
+        slot.up = up
+        event = FleetEvent(time_s=self.env.now, slot_index=slot.index,
+                           site=slot.site, up=up)
+        self.events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    def _run_slot(self, slot: VmSlot):
+        first_boot = True
+        while True:
+            if not first_boot:
+                yield self.env.timeout(self.startup_s + self.resync_s)
+            first_boot = False
+            self._emit(slot, up=True)
+            if (
+                self.interruption_model is None
+                or not slot.spot
+                or self.interruption_model.monthly_rate == 0
+            ):
+                return  # Nothing will ever take this VM down.
+            lifetime = self.interruption_model.sample_interruption_s(
+                self.rng, start_s=self.env.now
+            )
+            if lifetime == float("inf"):
+                return
+            yield self.env.timeout(lifetime)
+            slot.interruptions += 1
+            self._emit(slot, up=False)

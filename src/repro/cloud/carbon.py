@@ -1,0 +1,99 @@
+"""Carbon accounting for geo-distributed training.
+
+Section 5 of the paper: "one can also consider the data center's carbon
+footprint, which can change depending on the season and time of day"
+(citing the Google Cloud region picker). This module provides the
+missing quantification: per-region grid carbon intensity with a diurnal
+solar dip, typical GPU board power, and an emissions report for a
+simulated run — so the planner can trade dollars against grams of CO2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..hardware import get_gpu
+
+__all__ = [
+    "CarbonIntensity",
+    "REGION_INTENSITY",
+    "GPU_POWER_W",
+    "run_emissions_kg",
+    "emissions_per_million_samples",
+]
+
+
+@dataclass(frozen=True)
+class CarbonIntensity:
+    """Grid carbon intensity of one region, gCO2eq per kWh."""
+
+    region_key: str
+    mean_g_per_kwh: float
+    #: Relative midday dip from solar generation (0 = flat grid).
+    solar_dip: float = 0.15
+    tz_offset_hours: float = 0.0
+
+    def at(self, sim_time_s: float) -> float:
+        local_hour = ((sim_time_s / 3600.0) + self.tz_offset_hours) % 24.0
+        phase = 2.0 * math.pi * (local_hour - 13.0) / 24.0
+        return self.mean_g_per_kwh * (1.0 - self.solar_dip * math.cos(phase))
+
+
+#: Approximate 2023 grid intensities by study location (gCO2/kWh).
+REGION_INTENSITY: dict[str, CarbonIntensity] = {
+    "gc:us": CarbonIntensity("gc:us", 440.0, tz_offset_hours=-6),  # Iowa
+    "gc:eu": CarbonIntensity("gc:eu", 160.0, tz_offset_hours=1),   # Belgium
+    "gc:asia": CarbonIntensity("gc:asia", 560.0, tz_offset_hours=8),  # Taiwan
+    "gc:aus": CarbonIntensity("gc:aus", 660.0, tz_offset_hours=10),  # Sydney
+    "gc:us-west": CarbonIntensity("gc:us-west", 320.0, tz_offset_hours=-8),
+    "aws:us-west": CarbonIntensity("aws:us-west", 320.0, tz_offset_hours=-8),
+    "azure:us-south": CarbonIntensity("azure:us-south", 430.0,
+                                      tz_offset_hours=-6),
+    "lambda:us-west": CarbonIntensity("lambda:us-west", 320.0,
+                                      tz_offset_hours=-8),
+    "onprem:eu": CarbonIntensity("onprem:eu", 380.0, tz_offset_hours=1),
+}
+
+#: Typical training board power, watts (whole node for multi-GPU keys).
+GPU_POWER_W: dict[str, float] = {
+    "t4": 70.0,
+    "a10": 150.0,
+    "rtx8000": 260.0,
+    "v100": 300.0,
+    "a100": 400.0,
+    "dgx2": 8 * 300.0 + 800.0,  # eight V100s plus host
+    "4xt4": 4 * 70.0 + 300.0,
+}
+
+#: Overhead of the data center itself (power usage effectiveness).
+PUE = 1.15
+
+
+def run_emissions_kg(result) -> float:
+    """Total CO2-equivalent emissions of a simulated run, kilograms.
+
+    Integrates each peer's board power over the run duration against
+    its region's (time-varying) grid intensity.
+    """
+    duration_h = result.duration_s / 3600.0
+    total_g = 0.0
+    for peer in result.config.peers:
+        location = peer.site.rpartition("/")[0]
+        intensity = REGION_INTENSITY.get(location)
+        if intensity is None:
+            raise KeyError(f"no carbon intensity for {location!r}")
+        power_kw = GPU_POWER_W[get_gpu(peer.gpu).key] / 1000.0 * PUE
+        # Sample the intensity at the run midpoint (runs are short
+        # relative to the diurnal cycle in simulation).
+        g_per_kwh = intensity.at(result.duration_s / 2.0)
+        total_g += power_kw * duration_h * g_per_kwh
+    return total_g / 1000.0
+
+
+def emissions_per_million_samples(result) -> float:
+    """kgCO2eq per one million processed samples — the carbon analogue
+    of the paper's $/1M-samples axis."""
+    if result.total_samples <= 0:
+        raise ValueError("run processed no samples")
+    return run_emissions_kg(result) / (result.total_samples / 1e6)

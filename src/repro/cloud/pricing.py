@@ -1,0 +1,160 @@
+"""Cloud pricing: Table 1 of the paper, plus the other quoted prices.
+
+All prices are April-2023 us-west figures exactly as reported:
+
+* T4 spot / on-demand per hour for GC, AWS and Azure,
+* egress prices per GB by traffic class (inter-zone, inter-region per
+  continent, any-to-Oceania, between continents),
+* DGX-2 (GC), LambdaLabs A10, GC A100 and 4xT4 node prices quoted in
+  Sections 1, 6, 7 and 11,
+* Backblaze B2 storage/egress prices (Section 3).
+
+The key entry point is :func:`egress_price_per_gb`, which resolves the
+price of one GB sent from ``src`` to ``dst`` under the source site's
+provider, following the structure of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.topology import Site, TrafficClass, classify_traffic
+
+__all__ = [
+    "ProviderPricing",
+    "PRICING",
+    "egress_price_per_gb",
+    "instance_price_per_hour",
+    "B2_EGRESS_PER_GB",
+    "B2_STORAGE_PER_GB_MONTH",
+]
+
+GB = 1e9  # The paper prices traffic per (decimal) gigabyte.
+
+
+@dataclass(frozen=True)
+class ProviderPricing:
+    """Per-provider prices from Table 1 (us-west, April 2023)."""
+
+    provider: str
+    t4_spot_per_h: float
+    t4_ondemand_per_h: float
+    #: $/GB by traffic class; inter-region prices vary per continent.
+    inter_zone_per_gb: float
+    inter_region_per_gb: dict[str, float]
+    any_oce_per_gb: float
+    intercontinental_per_gb: float
+
+    def spot_discount(self) -> float:
+        """Fractional saving of spot over on-demand (e.g. 0.69 for GC)."""
+        return 1.0 - self.t4_spot_per_h / self.t4_ondemand_per_h
+
+
+PRICING: dict[str, ProviderPricing] = {
+    "gc": ProviderPricing(
+        provider="gc",
+        t4_spot_per_h=0.180,
+        t4_ondemand_per_h=0.572,
+        inter_zone_per_gb=0.01,
+        inter_region_per_gb={"US": 0.01, "EU": 0.02, "ASIA": 0.05, "AUS": 0.08},
+        any_oce_per_gb=0.15,
+        intercontinental_per_gb=0.08,
+    ),
+    "aws": ProviderPricing(
+        provider="aws",
+        t4_spot_per_h=0.395,
+        t4_ondemand_per_h=0.802,
+        inter_zone_per_gb=0.01,
+        inter_region_per_gb={"US": 0.01, "EU": 0.01, "ASIA": 0.01, "AUS": 0.01},
+        any_oce_per_gb=0.02,
+        intercontinental_per_gb=0.02,
+    ),
+    "azure": ProviderPricing(
+        provider="azure",
+        t4_spot_per_h=0.134,
+        t4_ondemand_per_h=0.489,
+        inter_zone_per_gb=0.00,
+        inter_region_per_gb={"US": 0.02, "EU": 0.02, "ASIA": 0.08, "AUS": 0.08},
+        any_oce_per_gb=0.08,
+        intercontinental_per_gb=0.02,
+    ),
+    # LambdaLabs does not charge for data egress at all (Section 7).
+    "lambda": ProviderPricing(
+        provider="lambda",
+        t4_spot_per_h=float("nan"),
+        t4_ondemand_per_h=float("nan"),
+        inter_zone_per_gb=0.0,
+        inter_region_per_gb={"US": 0.0, "EU": 0.0, "ASIA": 0.0, "AUS": 0.0},
+        any_oce_per_gb=0.0,
+        intercontinental_per_gb=0.0,
+    ),
+    # On-premise hardware: no cloud bill attached.
+    "onprem": ProviderPricing(
+        provider="onprem",
+        t4_spot_per_h=0.0,
+        t4_ondemand_per_h=0.0,
+        inter_zone_per_gb=0.0,
+        inter_region_per_gb={"US": 0.0, "EU": 0.0, "ASIA": 0.0, "AUS": 0.0},
+        any_oce_per_gb=0.0,
+        intercontinental_per_gb=0.0,
+    ),
+}
+
+#: Backblaze B2 (Section 3): dataset hosting for spot training.
+B2_EGRESS_PER_GB = 0.01
+B2_STORAGE_PER_GB_MONTH = 0.005
+
+#: Hourly instance prices quoted outside Table 1: (spot, on-demand).
+_SPECIAL_INSTANCES: dict[tuple[str, str], tuple[float, float]] = {
+    # DGX-2-class 8xV100 node on GC US (Section 7).
+    ("gc", "dgx2"): (6.30, 14.60),
+    # Best multi-T4 node on GC: four T4s behind one hypervisor.
+    ("gc", "4xt4"): (4 * 0.180, 4 * 0.572),
+    # A100 80GB used for the Whisper case study (Section 11); the quoted
+    # $12.19/1M samples at 46 SPS corresponds to $2.02/h.
+    ("gc", "a100"): (2.02, 5.07),
+    # LambdaLabs on-demand A10 at $0.60/h; Lambda has no spot tier, so
+    # both prices coincide.
+    ("lambda", "a10"): (0.60, 0.60),
+    # On-premise nodes carry no hourly price in the study's accounting.
+    ("onprem", "rtx8000"): (0.0, 0.0),
+    ("onprem", "dgx2"): (0.0, 0.0),
+}
+
+
+def instance_price_per_hour(provider: str, kind: str, spot: bool = True) -> float:
+    """Hourly price of an instance kind at a provider.
+
+    ``kind`` is ``"t4"`` for the single-T4 VMs of Table 1, or one of the
+    special kinds (``"dgx2"``, ``"4xt4"``, ``"a100"``, ``"a10"``,
+    ``"rtx8000"``).
+    """
+    if kind == "t4":
+        pricing = PRICING[provider]
+        return pricing.t4_spot_per_h if spot else pricing.t4_ondemand_per_h
+    key = (provider, kind)
+    if key not in _SPECIAL_INSTANCES:
+        raise KeyError(f"no price for {kind!r} at {provider!r}")
+    spot_price, ondemand_price = _SPECIAL_INSTANCES[key]
+    return spot_price if spot else ondemand_price
+
+
+def egress_price_per_gb(src: Site, dst: Site) -> float:
+    """Price of one GB sent from ``src`` to ``dst``, billed to ``src``.
+
+    VM-to-VM traffic inside one zone is billed at the provider's
+    intra/inter-zone rate (the first traffic row of Table 1; the
+    paper's multi-cloud cost breakdown charges the "internal" third of
+    the averaging traffic, so this rate is not zero on GC/AWS). All
+    other classes resolve to the source provider's Table 1 row;
+    inter-region prices depend on the continent the traffic stays in.
+    """
+    pricing = PRICING[src.provider]
+    klass = classify_traffic(src, dst)
+    if klass in (TrafficClass.INTRA_ZONE, TrafficClass.INTER_ZONE):
+        return pricing.inter_zone_per_gb
+    if klass == TrafficClass.INTER_REGION:
+        return pricing.inter_region_per_gb[src.continent]
+    if klass == TrafficClass.TO_OCEANIA:
+        return pricing.any_oce_per_gb
+    return pricing.intercontinental_per_gb

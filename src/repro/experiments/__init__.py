@@ -1,0 +1,42 @@
+"""Experiment specs, runner, and figure/table regeneration."""
+
+from .configs import EXPERIMENTS, ExperimentSpec, build_run_config, get_spec
+from .figures import REPORTS, Report, generate, render, report_keys
+from .replication import ReplicationSummary, replicate
+from .report import report_to_markdown, write_markdown_report
+from .runner import ExperimentResult, centralized_baseline, run_experiment
+from .sweeps import SweepGrid, SweepResult, run_sweep
+from .validation import (
+    ANCHORS,
+    Anchor,
+    ValidationRow,
+    render_scorecard,
+    run_validation,
+)
+
+__all__ = [
+    "ANCHORS",
+    "SweepGrid",
+    "SweepResult",
+    "run_sweep",
+    "ReplicationSummary",
+    "replicate",
+    "report_to_markdown",
+    "write_markdown_report",
+    "Anchor",
+    "EXPERIMENTS",
+    "ValidationRow",
+    "render_scorecard",
+    "run_validation",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "REPORTS",
+    "Report",
+    "build_run_config",
+    "centralized_baseline",
+    "generate",
+    "get_spec",
+    "render",
+    "report_keys",
+    "run_experiment",
+]

@@ -1,0 +1,175 @@
+"""Experiment specifications: every hardware setup the paper evaluates.
+
+Naming follows the paper:
+
+* ``A-n`` — intra-zone, n GC T4 VMs in us-central1 (Table 2),
+* ``B-n`` — transatlantic, n/2 US + n/2 EU T4 VMs,
+* ``C-n`` — intercontinental over up to four continents,
+* ``D-1/2/3`` — multi-cloud: four T4s on GC / GC+AWS / GC+Azure,
+* ``E-{A,B,C}-n`` — on-premise RTX8000 plus n cloud GPUs
+  (A = EU T4, B = US T4, C = US A10),
+* ``F-{A,B,C}-n`` — on-premise DGX-2 plus the same cloud choices,
+* ``A10-n`` — n LambdaLabs A10 VMs (the Section 3 suitability study),
+* ``T4-n`` — n GC T4 VMs (alias of A-n for the Whisper case study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hivemind import HivemindRunConfig, PeerSpec
+from ..network import Topology, build_topology
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_spec", "build_run_config"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named hardware/geography setup (model chosen at run time)."""
+
+    key: str
+    description: str
+    #: Ordered (location, count, gpu_key) groups.
+    groups: tuple[tuple[str, int, str], ...]
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(count for __, count, __ in self.groups)
+
+    def peers(self) -> list[PeerSpec]:
+        out = []
+        for location, count, gpu in self.groups:
+            for i in range(count):
+                out.append(PeerSpec(f"{location}/{i}", gpu))
+        return out
+
+    def topology(self) -> Topology:
+        counts: dict[str, int] = {}
+        for location, count, __ in self.groups:
+            counts[location] = max(counts.get(location, 0), count)
+        return build_topology(counts)
+
+
+def _spec(key, description, groups):
+    return ExperimentSpec(key=key, description=description,
+                          groups=tuple(groups))
+
+
+def _geo_specs() -> list[ExperimentSpec]:
+    specs = []
+    for n in (1, 2, 3, 4, 6, 8):
+        specs.append(_spec(
+            f"A-{n}", f"intra-zone: {n}x US T4 (Table 2)",
+            [("gc:us", n, "t4")],
+        ))
+    for n in (2, 4, 6, 8):
+        specs.append(_spec(
+            f"B-{n}", f"transatlantic: {n // 2}x US + {n // 2}x EU T4",
+            [("gc:us", n // 2, "t4"), ("gc:eu", n // 2, "t4")],
+        ))
+    specs.append(_spec(
+        "C-3", "intercontinental: 1x US + 1x EU + 1x ASIA T4",
+        [("gc:us", 1, "t4"), ("gc:eu", 1, "t4"), ("gc:asia", 1, "t4")],
+    ))
+    specs.append(_spec(
+        "C-4", "intercontinental: one T4 on each of four continents",
+        [("gc:us", 1, "t4"), ("gc:eu", 1, "t4"), ("gc:asia", 1, "t4"),
+         ("gc:aus", 1, "t4")],
+    ))
+    specs.append(_spec(
+        "C-6", "intercontinental: two T4s on three continents",
+        [("gc:us", 2, "t4"), ("gc:eu", 2, "t4"), ("gc:asia", 2, "t4")],
+    ))
+    specs.append(_spec(
+        "C-8", "intercontinental: two T4s on each of four continents",
+        [("gc:us", 2, "t4"), ("gc:eu", 2, "t4"), ("gc:asia", 2, "t4"),
+         ("gc:aus", 2, "t4")],
+    ))
+    # Uneven transatlantic splits — Section 4(B) asks "what happens when
+    # the compute is unevenly distributed across regions?"; these variants
+    # hold the total at 4/8 VMs while skewing the US:EU ratio.
+    for us, eu in ((3, 1), (1, 3), (6, 2), (7, 1)):
+        specs.append(_spec(
+            f"B-{us + eu}u{us}",
+            f"transatlantic uneven: {us}x US + {eu}x EU T4",
+            [("gc:us", us, "t4"), ("gc:eu", eu, "t4")],
+        ))
+    return specs
+
+
+def _multicloud_specs() -> list[ExperimentSpec]:
+    return [
+        _spec("D-1", "multi-cloud baseline: 4x GC T4 (us-west)",
+              [("gc:us-west", 4, "t4")]),
+        _spec("D-2", "multi-cloud: 2x GC + 2x AWS T4",
+              [("gc:us-west", 2, "t4"), ("aws:us-west", 2, "t4")]),
+        _spec("D-3", "multi-cloud: 2x GC + 2x Azure T4",
+              [("gc:us-west", 2, "t4"), ("azure:us-south", 2, "t4")]),
+    ]
+
+
+def _hybrid_specs() -> list[ExperimentSpec]:
+    cloud_choices = {
+        "A": ("gc:eu", "t4", "EU T4"),
+        "B": ("gc:us", "t4", "US T4"),
+        "C": ("lambda:us-west", "a10", "US A10"),
+    }
+    onprem_choices = {
+        "E": ("rtx8000", "consumer-grade RTX8000"),
+        "F": ("dgx2", "server-grade DGX-2 (8xV100)"),
+    }
+    specs = []
+    for setting, (onprem_gpu, onprem_name) in onprem_choices.items():
+        for variant, (location, gpu, cloud_name) in cloud_choices.items():
+            for n in (1, 2, 4, 8):
+                specs.append(_spec(
+                    f"{setting}-{variant}-{n}",
+                    f"hybrid: on-premise {onprem_name} + {n}x {cloud_name}",
+                    [("onprem:eu", 1, onprem_gpu), (location, n, gpu)],
+                ))
+    return specs
+
+
+def _lambda_specs() -> list[ExperimentSpec]:
+    return [
+        _spec(f"A10-{n}", f"{n}x LambdaLabs A10 (Section 3)",
+              [("lambda:us-west", n, "a10")])
+        for n in (1, 2, 3, 4, 8)
+    ]
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.key: spec
+    for spec in (
+        _geo_specs() + _multicloud_specs() + _hybrid_specs() + _lambda_specs()
+    )
+}
+
+
+def get_spec(key: str) -> ExperimentSpec:
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {key!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]
+
+
+def build_run_config(
+    key: str,
+    model: str,
+    target_batch_size: int = 32768,
+    epochs: int = 3,
+    **overrides,
+) -> HivemindRunConfig:
+    """Instantiate a ready-to-run config for a named experiment."""
+    spec = get_spec(key)
+    defaults = dict(monitor_interval_s=None, account_data_loading=True)
+    defaults.update(overrides)
+    return HivemindRunConfig(
+        model=model,
+        peers=spec.peers(),
+        topology=spec.topology(),
+        target_batch_size=target_batch_size,
+        epochs=epochs,
+        **defaults,
+    )

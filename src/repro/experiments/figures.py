@@ -1,0 +1,745 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``table*``/``figure*`` function returns a :class:`Report` whose
+rows carry the same quantities the paper plots. The CLI renders them as
+ASCII tables; the benchmark suite executes them and asserts the
+paper's qualitative claims (who wins, by roughly what factor, where the
+crossovers fall).
+
+All generators accept an ``epochs`` knob: more epochs average out the
+matchmaking jitter, fewer keep the benchmarks fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..cloud import PRICING, egress_price_per_gb, instance_price_per_hour
+from ..core import call_fractions, cost_per_million_samples
+from ..models import CV_KEYS, NLP_KEYS, get_model
+from ..network import (
+    GBPS,
+    build_topology,
+    multi_stream_bps,
+    profile_matrix,
+)
+from .configs import EXPERIMENTS, get_spec
+from .runner import ExperimentResult, centralized_baseline, run_experiment
+
+__all__ = ["Report", "REPORTS", "generate", "render", "report_keys"]
+
+_ALL_SUITABILITY_MODELS = list(CV_KEYS + NLP_KEYS)
+
+
+@dataclass
+class Report:
+    key: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+
+def render(report: Report) -> str:
+    """Plain-text rendering of a report (fixed-width columns)."""
+    lines = [f"== {report.key}: {report.title} =="]
+    if report.rows:
+        columns = list(report.rows[0].keys())
+        widths = {
+            c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in report.rows))
+            for c in columns
+        }
+        header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in report.rows:
+            lines.append(
+                "  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns)
+            )
+    for note in report.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3g}" if abs(value) < 1000 else f"{value:.0f}"
+    return str(value)
+
+
+# --------------------------------------------------------------------------
+# Table 1 — cloud pricing
+# --------------------------------------------------------------------------
+
+def table1(epochs: int = 0) -> Report:
+    rows = []
+    for label, getter in [
+        ("T4 Spot ($/h)", lambda p: p.t4_spot_per_h),
+        ("T4 On-Demand ($/h)", lambda p: p.t4_ondemand_per_h),
+        ("Traffic inter-zone ($/GB)", lambda p: p.inter_zone_per_gb),
+        ("Traffic inter-region US", lambda p: p.inter_region_per_gb["US"]),
+        ("Traffic inter-region EU", lambda p: p.inter_region_per_gb["EU"]),
+        ("Traffic inter-region ASIA", lambda p: p.inter_region_per_gb["ASIA"]),
+        ("Traffic inter-region OCE", lambda p: p.inter_region_per_gb["AUS"]),
+        ("Traffic ANY-OCE", lambda p: p.any_oce_per_gb),
+        ("Traffic between continents", lambda p: p.intercontinental_per_gb),
+    ]:
+        rows.append({
+            "item": label,
+            "GC": getter(PRICING["gc"]),
+            "AWS": getter(PRICING["aws"]),
+            "Azure": getter(PRICING["azure"]),
+        })
+    return Report("table1", "Average us-west cloud pricing (April 2023)", rows)
+
+
+# --------------------------------------------------------------------------
+# Figures 1 / 15 / 17 — cost-to-throughput tradeoffs
+# --------------------------------------------------------------------------
+
+def _cost_throughput(model: str, distributed: list[tuple[str, int]],
+                     baselines: list[str], epochs: int) -> list[dict]:
+    """Rows for the cost-vs-throughput figures.
+
+    ``usd_per_1m`` follows the paper's accounting (VM hours only; data
+    loading is a one-time cost, and the figures amortize egress away),
+    while ``usd_per_1m_metered`` additionally bills every metered
+    averaging byte at Table 1 rates — the honest steady-state price.
+    """
+    from ..core import cost_report
+
+    rows = []
+    for name in baselines:
+        try:
+            result = centralized_baseline(name, model)
+        except Exception as error:  # 4xT4 OOM for NLP
+            rows.append({"setup": name, "sps": None, "usd_per_h": None,
+                         "usd_per_1m": None, "usd_per_1m_metered": None,
+                         "kind": f"unavailable ({error})"})
+            continue
+        rows.append({
+            "setup": name,
+            "sps": round(result.throughput_sps, 1),
+            "usd_per_h": round(result.hourly_cost_usd, 3),
+            "usd_per_1m": round(result.usd_per_million_samples, 2),
+            "usd_per_1m_metered": round(result.usd_per_million_samples, 2),
+            "kind": "centralized",
+        })
+    for key, tbs in distributed:
+        result = run_experiment(key, model, target_batch_size=tbs,
+                                epochs=epochs)
+        report = cost_report(result.run)
+        vm_per_1m = cost_per_million_samples(result.throughput_sps,
+                                             report.hourly_vm)
+        metered_per_1m = cost_per_million_samples(
+            result.throughput_sps, report.hourly_vm + report.hourly_egress
+        )
+        rows.append({
+            "setup": key,
+            "sps": round(result.throughput_sps, 1),
+            "usd_per_h": round(report.hourly_vm, 3),
+            "usd_per_1m": round(vm_per_1m, 2),
+            "usd_per_1m_metered": round(metered_per_1m, 2),
+            "kind": "distributed (ours)",
+        })
+    return rows
+
+
+def figure1(epochs: int = 3) -> Report:
+    rows = _cost_throughput(
+        "conv",
+        distributed=[("A-8", 32768), ("A10-8", 32768)],
+        baselines=["1xT4", "1xA10", "DGX-2", "4xT4-DDP"],
+        epochs=epochs,
+    )
+    return Report(
+        "fig01", "Cost vs throughput for ConvNextLarge", rows,
+        notes=["paper: 8xA10 is faster AND cheaper than the DGX-2; "
+               "8xT4 is cheaper but slower"],
+    )
+
+
+def figure15(epochs: int = 3) -> Report:
+    rows = _cost_throughput(
+        "rxlm",
+        distributed=[("A-8", 32768), ("A10-8", 32768)],
+        baselines=["1xT4", "1xA10", "DGX-2", "4xT4-DDP"],
+        epochs=epochs,
+    )
+    return Report(
+        "fig15", "Cost vs throughput for RoBERTaXLM", rows,
+        notes=["paper: due to low NLP granularity the distributed setups "
+               "beat the DGX-2 on neither axis; 4xT4 DDP runs OOM"],
+    )
+
+
+def figure17(epochs: int = 3) -> Report:
+    rows = _cost_throughput(
+        "whisper-small",
+        distributed=[("A-8", 1024)],
+        baselines=["A100", "4xT4-DDP"],
+        epochs=epochs,
+    )
+    return Report(
+        "fig17", "Cost vs throughput for WhisperSmall (TBS=1024)", rows,
+        notes=["paper: A100 fastest ($12.19/1M), 4xT4 DDP cheaper but "
+               "slower ($8.41/1M), 8xT4 at $14.53/1M in between on speed"],
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 2 — Hivemind penalty
+# --------------------------------------------------------------------------
+
+def figure2(epochs: int = 3) -> Report:
+    rows = []
+    for model_key in _ALL_SUITABILITY_MODELS:
+        result = run_experiment("A10-2", model_key, epochs=epochs)
+        model = get_model(model_key)
+        n = result.num_gpus
+        baseline = result.baseline_sps
+        local_norm = result.local_throughput_sps / n / baseline
+        global_norm = result.throughput_sps / n / baseline
+        rows.append({
+            "model": model.name,
+            "baseline": 1.0,
+            "local/baseline": round(local_norm, 2),
+            "global/local": round(global_norm / local_norm, 2),
+        })
+    return Report(
+        "fig02", "Hivemind penalty on normalized throughput (2xA10)", rows,
+        notes=["paper: local reaches 48% (CONV) to 78% (RN152) of baseline;"
+               " global/local stays between 87% and 97%"],
+    )
+
+
+# --------------------------------------------------------------------------
+# Figures 3 & 4 — TBS sweeps on 2xA10
+# --------------------------------------------------------------------------
+
+def figure3(epochs: int = 3) -> Report:
+    rows = []
+    for model_key in _ALL_SUITABILITY_MODELS:
+        baseline = centralized_baseline(
+            "1xA10", model_key
+        ).throughput_sps
+        for tbs in (8192, 16384, 32768):
+            result = run_experiment("A10-2", model_key,
+                                    target_batch_size=tbs, epochs=epochs)
+            rows.append({
+                "model": model_key,
+                "tbs": tbs,
+                "baseline_sps": round(baseline, 1),
+                "hivemind_2gpu_sps": round(result.throughput_sps, 1),
+            })
+    return Report(
+        "fig03", "Single-GPU baseline vs 2xA10 Hivemind across TBS", rows,
+        notes=["paper: doubling the TBS halves per-sample communication "
+               "cost; small models fluctuate at TBS 8K"],
+    )
+
+
+def figure4(epochs: int = 3) -> Report:
+    rows = []
+    for model_key in _ALL_SUITABILITY_MODELS:
+        for tbs in (8192, 16384, 32768):
+            result = run_experiment("A10-2", model_key,
+                                    target_batch_size=tbs, epochs=epochs)
+            rows.append({
+                "model": model_key,
+                "tbs": tbs,
+                "calc_s": round(result.calc_s, 1),
+                "comm_s": round(result.matchmaking_s + result.transfer_s, 1),
+                "granularity": round(result.granularity, 2),
+            })
+    return Report(
+        "fig04", "TBS vs training time split on 2xA10 (granularity)", rows,
+        notes=["paper: at TBS 32K granularity spans 4.2 (RXLM) to 21.6 "
+               "(CONV)"],
+    )
+
+
+# --------------------------------------------------------------------------
+# Figures 5 & 6 — multi-GPU scaling on A10s
+# --------------------------------------------------------------------------
+
+def _a10_scaling(epochs: int) -> list[ExperimentResult]:
+    results = []
+    for model_key in _ALL_SUITABILITY_MODELS:
+        for n in (1, 2, 3, 4, 8):
+            if n == 1:
+                results.append(centralized_baseline("1xA10", model_key))
+            else:
+                results.append(
+                    run_experiment(f"A10-{n}", model_key, epochs=epochs)
+                )
+    return results
+
+
+def figure5(epochs: int = 3) -> Report:
+    rows = []
+    for result in _a10_scaling(epochs):
+        rows.append({
+            "model": result.model,
+            "gpus": result.num_gpus,
+            "sps": round(result.throughput_sps, 1),
+            "speedup": round(result.speedup, 2) if result.speedup else 1.0,
+        })
+    return Report(
+        "fig05", "Throughput from 1 to 8 A10 GPUs", rows,
+        notes=["paper: best speedup 4.37x (RN152), lowest 2.29x (RXLM) "
+               "at 8 GPUs"],
+    )
+
+
+def figure6(epochs: int = 3) -> Report:
+    rows = []
+    for result in _a10_scaling(epochs):
+        if result.num_gpus == 1:
+            continue
+        rows.append({
+            "model": result.model,
+            "gpus": result.num_gpus,
+            "granularity": round(result.granularity, 2),
+            "per_gpu_contribution": round(result.per_gpu_contribution, 2)
+            if result.per_gpu_contribution else None,
+        })
+    return Report(
+        "fig06", "Multi-GPU scalability at TBS 32K (granularity)", rows,
+        notes=["paper: granularity falls as GPUs are added; RN18 hits 1.0 "
+               "at 8 GPUs"],
+    )
+
+
+# --------------------------------------------------------------------------
+# Table 2 & Figures 7-9 — geo-distributed experiments
+# --------------------------------------------------------------------------
+
+def table2(epochs: int = 0) -> Report:
+    rows = []
+    for key in ("A-1", "A-2", "A-3", "A-4", "A-6", "A-8",
+                "B-2", "B-4", "B-6", "B-8",
+                "C-3", "C-4", "C-6", "C-8"):
+        spec = get_spec(key)
+        rows.append({
+            "experiment": key,
+            "resources": " + ".join(
+                f"{count}x{location}" for location, count, __ in spec.groups
+            ),
+            "total": spec.total_gpus,
+        })
+    return Report("table2", "Geo-distributed experiments on GC T4 VMs", rows)
+
+
+def _geo_figure(keys: list[str], fig_key: str, title: str, notes: list[str],
+                epochs: int) -> Report:
+    rows = []
+    for model_key, label in (("conv", "CV"), ("rxlm", "NLP")):
+        for key in keys:
+            if key == "A-1":
+                result = centralized_baseline("1xT4", model_key)
+            else:
+                result = run_experiment(key, model_key, epochs=epochs)
+            rows.append({
+                "task": label,
+                "experiment": key,
+                "sps": round(result.throughput_sps, 1),
+                "granularity": round(result.granularity, 2)
+                if result.granularity != float("inf") else None,
+                "speedup": round(result.speedup, 2) if result.speedup else 1.0,
+            })
+    return Report(fig_key, title, rows, notes)
+
+
+def figure7(epochs: int = 3) -> Report:
+    return _geo_figure(
+        ["A-1", "A-2", "A-3", "A-4", "A-6", "A-8"],
+        "fig07", "(A) Intra-zone performance for CV and NLP",
+        ["paper: max speedup 3.2x CV and 2.75x NLP at 8 GPUs"],
+        epochs,
+    )
+
+
+def figure8(epochs: int = 3) -> Report:
+    return _geo_figure(
+        ["A-1", "B-2", "B-4", "B-6", "B-8"],
+        "fig08", "(B) Transatlantic performance for CV and NLP",
+        ["paper: the transatlantic penalty is paid once; CV ~matches "
+         "intra-zone, NLP is ~22% slower at B-8"],
+        epochs,
+    )
+
+
+def figure9(epochs: int = 3) -> Report:
+    return _geo_figure(
+        ["A-1", "C-3", "C-4", "C-6", "C-8"],
+        "fig09", "(C) Intercontinental performance for CV and NLP",
+        ["paper: CV only ~7% slower than local at C-8; NLP drops ~41% "
+         "and granularity falls to 0.4"],
+        epochs,
+    )
+
+
+# --------------------------------------------------------------------------
+# Tables 3/4/5 — network profiling
+# --------------------------------------------------------------------------
+
+def table3(epochs: int = 0) -> Report:
+    topology = build_topology({"gc:us": 2, "gc:eu": 2, "gc:asia": 2,
+                               "gc:aus": 2})
+    profile = profile_matrix(
+        topology,
+        {loc: f"{loc}/0" for loc in ("gc:us", "gc:eu", "gc:asia", "gc:aus")},
+        nbytes=2.5e8,
+    )
+    return Report(
+        "table3", "Throughput and latency between GC zones",
+        profile.rows(),
+        notes=["paper: ~7 Gb/s / 0.7 ms locally; <210 Mb/s on all "
+               "non-local connections"],
+    )
+
+
+def table4(epochs: int = 0) -> Report:
+    topology = build_topology({"gc:us-west": 2, "aws:us-west": 2,
+                               "azure:us-south": 2})
+    profile = profile_matrix(
+        topology,
+        {loc: f"{loc}/0" for loc in ("gc:us-west", "aws:us-west",
+                                     "azure:us-south")},
+        nbytes=2.5e8,
+    )
+    return Report(
+        "table4", "Average multi-cloud throughput and latency",
+        profile.rows(),
+        notes=["paper: GC<->AWS up to 1.8 Gb/s at 15.3 ms; Azure at "
+               "0.5 Gb/s / 51 ms"],
+    )
+
+
+def table5(epochs: int = 0) -> Report:
+    topology = build_topology({"onprem:eu": 2, "gc:eu": 2, "gc:us": 2,
+                               "lambda:us-west": 2})
+    profile = profile_matrix(
+        topology,
+        {loc: f"{loc}/0" for loc in ("onprem:eu", "gc:eu", "gc:us",
+                                     "lambda:us-west")},
+        nbytes=1.25e8,
+    )
+    return Report(
+        "table5", "Average hybrid-cloud throughput and latency",
+        profile.rows(),
+        notes=["paper: ~0.5 Gb/s to the EU data center; 50-80 Mb/s to "
+               "US-based VMs at ~150 ms RTT"],
+    )
+
+
+# --------------------------------------------------------------------------
+# Figures 10-12 — multi-cloud performance and costs
+# --------------------------------------------------------------------------
+
+def figure10(epochs: int = 3) -> Report:
+    rows = []
+    for model_key, label in (("conv", "CV"), ("rxlm", "NLP")):
+        for key in ("D-1", "D-2", "D-3"):
+            result = run_experiment(key, model_key, epochs=epochs)
+            rows.append({
+                "task": label,
+                "experiment": key,
+                "sps": round(result.throughput_sps, 1),
+                "granularity": round(result.granularity, 2),
+            })
+    return Report(
+        "fig10", "Multi-cloud performance for CV and NLP", rows,
+        notes=["paper: no inter-cloud throughput penalty; D-3 (Azure) "
+               "1-2% slower with slightly lower granularity"],
+    )
+
+
+def figure11(epochs: int = 3) -> Report:
+    rows = []
+    # (a) Per-VM hourly cost breakdown for the D experiments.
+    from ..core import cost_report
+
+    for model_key, label in (("conv", "CV"), ("rxlm", "NLP")):
+        for key in ("D-2", "D-3"):
+            result = run_experiment(key, model_key, epochs=epochs)
+            report = cost_report(result.run)
+            by_provider: dict[str, list] = {}
+            for vm in report.vms:
+                provider = vm.site.split(":", 1)[0]
+                by_provider.setdefault(provider, []).append(vm)
+            for provider, vms in by_provider.items():
+                count = len(vms)
+                rows.append({
+                    "part": "a",
+                    "task": label,
+                    "experiment": key,
+                    "provider": provider,
+                    "vm_usd_h": round(sum(v.instance_per_h for v in vms)
+                                      / count, 3),
+                    "internal_egress_usd_h": round(
+                        sum(v.internal_egress_per_h for v in vms) / count, 3),
+                    "external_egress_usd_h": round(
+                        sum(v.external_egress_per_h for v in vms) / count, 3),
+                    "data_usd_h": round(
+                        sum(v.data_loading_per_h for v in vms) / count, 3),
+                })
+    # (b) C-8 egress cost per VM, plugged for each provider's pricing,
+    # using the paper's call-count accounting.
+    fractions = call_fractions(["US", "EU", "ASIA", "AUS"], [2, 2, 2, 2])
+    for model_key, label in (("conv", "CV"), ("rxlm", "NLP")):
+        result = run_experiment("C-8", model_key, epochs=epochs)
+        run = result.run
+        egress_gb_per_vm_h = (
+            sum(run.egress_bytes_by_site.values()) / len(run.egress_bytes_by_site)
+            / 1e9 / (run.duration_s / 3600.0)
+        )
+        for provider in ("gc", "aws", "azure"):
+            pricing = PRICING[provider]
+            usd = egress_gb_per_vm_h * (
+                fractions.internal * pricing.inter_zone_per_gb
+                + fractions.intercontinental * pricing.intercontinental_per_gb
+                + fractions.oceania * pricing.any_oce_per_gb
+            )
+            rows.append({
+                "part": "b",
+                "task": label,
+                "experiment": "C-8",
+                "provider": provider,
+                "vm_usd_h": pricing.t4_spot_per_h,
+                "internal_egress_usd_h": None,
+                "external_egress_usd_h": round(usd, 3),
+                "data_usd_h": None,
+            })
+    return Report(
+        "fig11", "Cost breakdown for D-2/D-3 and C-8 experiments", rows,
+        notes=["paper: NLP external egress reaches >90% of the per-VM "
+               "total on GC at C-8; AWS's $0.02/GB cap makes it the best "
+               "geo-distributed choice"],
+    )
+
+
+def figure12(epochs: int = 3) -> Report:
+    rows = []
+    for model_key in _ALL_SUITABILITY_MODELS:
+        for n in (2, 4, 8):
+            result = run_experiment(f"A10-{n}", model_key, epochs=epochs)
+            rows.append({
+                "model": model_key,
+                "gpus": n,
+                "egress_mbps_per_vm": round(
+                    result.run.average_egress_rate_bps() / 1e6, 1),
+            })
+    return Report(
+        "fig12", "Average egress rate on 2-8 A10 GPUs", rows,
+        notes=["paper: the smaller the model, the lower the egress rate, "
+               "despite the higher averaging frequency"],
+    )
+
+
+# --------------------------------------------------------------------------
+# Table 6 & Figures 13/14 — hybrid cloud
+# --------------------------------------------------------------------------
+
+def table6(epochs: int = 3) -> Report:
+    rows = []
+    for model_key, label in (("conv", "CONV"), ("rxlm", "RXLM")):
+        row = {"model": label}
+        row["RTX8000"] = round(
+            centralized_baseline("RTX8000", model_key).throughput_sps, 1
+        )
+        for key in ("E-A-8", "E-B-8", "E-C-8"):
+            row[key] = round(
+                run_experiment(key, model_key, epochs=epochs).throughput_sps,
+                1,
+            )
+        row["8xT4"] = round(
+            run_experiment("A-8", model_key, epochs=epochs).throughput_sps, 1
+        )
+        row["8xA10"] = round(
+            run_experiment("A10-8", model_key, epochs=epochs).throughput_sps,
+            1,
+        )
+        rows.append(row)
+    return Report(
+        "table6", "Hybrid- vs cloud-only throughput for the (E) setting",
+        rows,
+        notes=["paper row CONV: 194.8 | 316.8 | 283.5 | 429.3 | 261.9 | "
+               "620.6; row RXLM: 431.8 | 556.7 | 330.6 | 223.7 | 575.1 | "
+               "1059.9"],
+    )
+
+
+def _hybrid_figure(setting: str, baseline_name: str, fig_key: str,
+                   title: str, notes: list[str], epochs: int) -> Report:
+    rows = []
+    for model_key, label in (("conv", "CV"), ("rxlm", "NLP")):
+        baseline = centralized_baseline(baseline_name, model_key)
+        rows.append({
+            "task": label, "experiment": baseline_name, "cloud_gpus": 0,
+            "sps": round(baseline.throughput_sps, 1), "granularity": None,
+        })
+        for variant in ("A", "B", "C"):
+            for n in (1, 2, 4, 8):
+                key = f"{setting}-{variant}-{n}"
+                result = run_experiment(key, model_key, epochs=epochs)
+                rows.append({
+                    "task": label,
+                    "experiment": key,
+                    "cloud_gpus": n,
+                    "sps": round(result.throughput_sps, 1),
+                    "granularity": round(result.granularity, 2),
+                })
+    return Report(fig_key, title, rows, notes)
+
+
+def figure13(epochs: int = 3) -> Report:
+    return _hybrid_figure(
+        "E", "RTX8000", "fig13",
+        "Hybrid-cloud experiments for the (E) consumer-grade setting",
+        ["paper: local cloud resources (E-A) beat the same hardware in "
+         "the US (E-B); only E-A-8 beats the NLP baseline (1.29x)"],
+        epochs,
+    )
+
+
+def figure14(epochs: int = 3) -> Report:
+    return _hybrid_figure(
+        "F", "DGX-2", "fig14",
+        "Hybrid-cloud experiments for the (F) server-grade setting",
+        ["paper: only F-A-8/F-C-8 beat the CV baseline; NLP never beats "
+         "the 8xV100 baseline and is communication-bound (granularity "
+         "down to 0.02)"],
+        epochs,
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 16 — Whisper TBS sweep
+# --------------------------------------------------------------------------
+
+def figure16(epochs: int = 3) -> Report:
+    rows = []
+    baseline = centralized_baseline("1xT4", "whisper-small")
+    rows.append({
+        "tbs": None, "gpus": 1, "sps": round(baseline.throughput_sps, 1),
+        "granularity": None, "speedup": 1.0,
+    })
+    for tbs in (256, 512, 1024):
+        for n in (2, 4, 8):
+            result = run_experiment(f"A-{n}", "whisper-small",
+                                    target_batch_size=tbs, epochs=epochs)
+            rows.append({
+                "tbs": tbs,
+                "gpus": n,
+                "sps": round(result.throughput_sps, 1),
+                "granularity": round(result.granularity, 2),
+                "speedup": round(result.speedup, 2),
+            })
+    return Report(
+        "fig16", "WhisperSmall performance with varying TBS", rows,
+        notes=["paper: TBS 256 gives no benefit; TBS 512 and 1024 reach "
+               "1.27x and 2.2x on 8xT4"],
+    )
+
+
+# --------------------------------------------------------------------------
+# Section 7 microbenchmarks
+# --------------------------------------------------------------------------
+
+def section7_tcp(epochs: int = 0) -> Report:
+    topology = build_topology({"onprem:eu": 1, "gc:eu": 1, "gc:us": 1})
+    rows = []
+    for destination, label in (("gc:eu/0", "EU"), ("gc:us/0", "US")):
+        path = topology.path("onprem:eu/0", destination)
+        for streams in (1, 2, 4, 8, 16, 40, 80):
+            rows.append({
+                "destination": label,
+                "streams": streams,
+                "gbps": round(multi_stream_bps(path, streams) / GBPS, 3),
+            })
+    return Report(
+        "sec7-tcp", "Multi-stream TCP bandwidth from the on-premise node",
+        rows,
+        notes=["paper: ~6 Gb/s within the EU and up to 4 Gb/s to the US "
+               "with 80 clients; a single stream is RTT-limited"],
+    )
+
+
+def section7_spot(epochs: int = 2) -> Report:
+    import numpy as np
+
+    from ..cloud import InterruptionModel, SpotFleet, get_instance_type
+    from ..simulation import Environment
+
+    rows = []
+    horizon = 30 * 24 * 3600.0
+    for monthly_rate in (0.0, 0.05, 0.10, 0.20, 0.50):
+        env = Environment()
+        fleet = SpotFleet(
+            env,
+            np.random.default_rng(42),
+            slots=[(f"gc:us/{i}", get_instance_type("gc-t4"))
+                   for i in range(8)],
+            interruption_model=InterruptionModel(monthly_rate=monthly_rate)
+            if monthly_rate else None,
+            startup_s=600.0,
+            resync_s=300.0,
+        )
+        env.run(until=horizon)
+        uptime = fleet.uptime_fraction(horizon)
+        rows.append({
+            "monthly_rate": monthly_rate,
+            "interruptions": fleet.total_interruptions,
+            "uptime_fraction": round(uptime, 4),
+            "throughput_penalty_pct": round((1 - uptime) * 100, 2),
+        })
+    return Report(
+        "sec7-spot", "Spot interruption frequency as a throughput penalty",
+        rows,
+        notes=["paper: an x% interruption frequency over the training time "
+               "means roughly x% slower training"],
+    )
+
+
+REPORTS: dict[str, Callable[..., Report]] = {
+    "table1": table1,
+    "fig01": figure1,
+    "fig02": figure2,
+    "fig03": figure3,
+    "fig04": figure4,
+    "fig05": figure5,
+    "fig06": figure6,
+    "table2": table2,
+    "table3": table3,
+    "fig07": figure7,
+    "fig08": figure8,
+    "fig09": figure9,
+    "table4": table4,
+    "fig10": figure10,
+    "fig11": figure11,
+    "fig12": figure12,
+    "table5": table5,
+    "table6": table6,
+    "fig13": figure13,
+    "fig14": figure14,
+    "fig15": figure15,
+    "fig16": figure16,
+    "fig17": figure17,
+    "sec7-tcp": section7_tcp,
+    "sec7-spot": section7_spot,
+}
+
+
+def report_keys() -> list[str]:
+    return list(REPORTS)
+
+
+def generate(key: str, epochs: int = 3) -> Report:
+    """Regenerate one of the paper's tables/figures by id."""
+    if key not in REPORTS:
+        raise KeyError(f"unknown report {key!r}; known: {report_keys()}")
+    return REPORTS[key](epochs=epochs)

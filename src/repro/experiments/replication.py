@@ -1,0 +1,89 @@
+"""Multi-seed replication of experiments.
+
+The paper reports averages over repeated runs (e.g. five consecutive
+iperf runs; training throughput measured over whole epochs). This
+module provides the analogue for the simulation: run an experiment
+under several seeds and summarize mean, spread, and the coefficient of
+variation — the matchmaking jitter is the only stochastic term in a
+default run, so the spread also serves as a stability check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .runner import ExperimentResult, run_experiment
+
+__all__ = ["ReplicationSummary", "replicate"]
+
+
+@dataclass
+class ReplicationSummary:
+    """Seed-averaged statistics of one experiment configuration."""
+
+    experiment: str
+    model: str
+    target_batch_size: int
+    seeds: tuple[int, ...]
+    throughputs: tuple[float, ...]
+    granularities: tuple[float, ...]
+
+    @property
+    def mean_sps(self) -> float:
+        return float(np.mean(self.throughputs))
+
+    @property
+    def std_sps(self) -> float:
+        return float(np.std(self.throughputs))
+
+    @property
+    def cv_sps(self) -> float:
+        """Coefficient of variation of throughput across seeds."""
+        mean = self.mean_sps
+        return self.std_sps / mean if mean > 0 else float("inf")
+
+    @property
+    def mean_granularity(self) -> float:
+        return float(np.mean(self.granularities))
+
+    def row(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "model": self.model,
+            "tbs": self.target_batch_size,
+            "seeds": len(self.seeds),
+            "mean_sps": round(self.mean_sps, 1),
+            "std_sps": round(self.std_sps, 2),
+            "cv": round(self.cv_sps, 4),
+            "mean_granularity": round(self.mean_granularity, 2),
+        }
+
+
+def replicate(
+    experiment: str,
+    model: str,
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
+    target_batch_size: int = 32768,
+    epochs: int = 3,
+    **overrides,
+) -> ReplicationSummary:
+    """Run one experiment under several seeds and summarize."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results: list[ExperimentResult] = []
+    for seed in seeds:
+        results.append(
+            run_experiment(experiment, model,
+                           target_batch_size=target_batch_size,
+                           epochs=epochs, seed=seed, **overrides)
+        )
+    return ReplicationSummary(
+        experiment=experiment,
+        model=model,
+        target_batch_size=target_batch_size,
+        seeds=tuple(seeds),
+        throughputs=tuple(r.throughput_sps for r in results),
+        granularities=tuple(r.granularity for r in results),
+    )

@@ -1,0 +1,80 @@
+"""Markdown report generation: the whole evaluation as one document.
+
+``repro report --output results.md`` regenerates any subset of the
+paper's tables/figures plus the fidelity scorecard and writes a
+self-contained markdown document — the automated counterpart of the
+hand-curated EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from .figures import REPORTS, Report
+from .validation import render_scorecard, run_validation
+
+__all__ = ["report_to_markdown", "write_markdown_report"]
+
+
+def _table(report: Report) -> str:
+    if not report.rows:
+        return "*(no rows)*"
+    columns = list(report.rows[0].keys())
+    header = "| " + " | ".join(str(c) for c in columns) + " |"
+    separator = "|" + "|".join("---" for __ in columns) + "|"
+    lines = [header, separator]
+    for row in report.rows:
+        cells = []
+        for column in columns:
+            value = row.get(column)
+            if value is None:
+                cells.append("—")
+            elif isinstance(value, float):
+                cells.append(f"{value:.4g}")
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def report_to_markdown(report: Report) -> str:
+    """One report as a markdown section."""
+    parts = [f"## {report.key} — {report.title}", "", _table(report)]
+    for note in report.notes:
+        parts.append("")
+        parts.append(f"> {note}")
+    return "\n".join(parts)
+
+
+def write_markdown_report(
+    path: str | Path,
+    keys: Optional[list[str]] = None,
+    epochs: int = 3,
+    include_scorecard: bool = True,
+) -> Path:
+    """Regenerate reports and write them as one markdown document."""
+    keys = keys if keys is not None else list(REPORTS)
+    unknown = [key for key in keys if key not in REPORTS]
+    if unknown:
+        raise KeyError(f"unknown reports: {unknown}")
+    sections = [
+        "# Simulated evaluation report",
+        "",
+        "Regenerated tables and figures of *How Can We Train Deep "
+        "Learning Models Across Clouds and Continents?* (PVLDB 17(6)), "
+        f"simulated with `epochs={epochs}`.",
+    ]
+    for key in keys:
+        sections.append("")
+        sections.append(report_to_markdown(REPORTS[key](epochs=epochs)))
+    if include_scorecard:
+        sections.append("")
+        sections.append("## Paper-fidelity scorecard")
+        sections.append("")
+        sections.append("```")
+        sections.append(render_scorecard(run_validation(epochs=epochs)))
+        sections.append("```")
+    path = Path(path)
+    path.write_text("\n".join(sections) + "\n")
+    return path

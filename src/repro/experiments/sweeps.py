@@ -1,0 +1,105 @@
+"""Parameter sweeps: grids over models, fleets and batch sizes.
+
+The paper's figures are hand-picked slices of a large design space;
+this module exposes the general tool: sweep any grid of (model ×
+experiment × TBS), collect flat result rows, and export them. Used by
+the broader examples and handy for anyone extending the study.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .runner import ExperimentResult, run_experiment
+
+__all__ = ["SweepGrid", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A cartesian grid of experiment parameters."""
+
+    models: tuple[str, ...]
+    experiments: tuple[str, ...]
+    target_batch_sizes: tuple[int, ...] = (32768,)
+
+    def __post_init__(self):
+        if not (self.models and self.experiments and self.target_batch_sizes):
+            raise ValueError("grid axes must be non-empty")
+
+    def points(self) -> Iterable[tuple[str, str, int]]:
+        for model in self.models:
+            for experiment in self.experiments:
+                for tbs in self.target_batch_sizes:
+                    yield model, experiment, tbs
+
+    def __len__(self) -> int:
+        return (len(self.models) * len(self.experiments)
+                * len(self.target_batch_sizes))
+
+
+@dataclass
+class SweepResult:
+    """All rows of a sweep plus export helpers."""
+
+    results: list[ExperimentResult] = field(default_factory=list)
+    failures: list[tuple[tuple[str, str, int], str]] = field(
+        default_factory=list
+    )
+
+    def rows(self) -> list[dict]:
+        return [result.row() for result in self.results]
+
+    def best_by(self, column: str, minimize: bool = True) -> dict:
+        rows = [row for row in self.rows() if row.get(column) is not None]
+        if not rows:
+            raise ValueError(f"no rows carry column {column!r}")
+        chooser = min if minimize else max
+        return chooser(rows, key=lambda row: row[column])
+
+    def to_csv(self, path: str | Path) -> Path:
+        path = Path(path)
+        rows = self.rows()
+        with open(path, "w", newline="") as handle:
+            if rows:
+                writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+                writer.writeheader()
+                writer.writerows(rows)
+        return path
+
+    def to_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        with open(path, "w") as handle:
+            json.dump({"rows": self.rows(),
+                       "failures": [
+                           {"point": list(point), "error": error}
+                           for point, error in self.failures
+                       ]}, handle, indent=2)
+        return path
+
+
+def run_sweep(
+    grid: SweepGrid,
+    epochs: int = 3,
+    progress: Optional[callable] = None,
+    **overrides,
+) -> SweepResult:
+    """Execute every grid point; failures are recorded, not raised."""
+    sweep = SweepResult()
+    for point in grid.points():
+        model, experiment, tbs = point
+        try:
+            result = run_experiment(experiment, model,
+                                    target_batch_size=tbs, epochs=epochs,
+                                    **overrides)
+        except Exception as error:  # e.g. OOM configurations
+            sweep.failures.append((point, str(error)))
+            continue
+        sweep.results.append(result)
+        if progress is not None:
+            progress(result)
+    return sweep

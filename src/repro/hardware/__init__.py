@@ -1,0 +1,21 @@
+"""Accelerator catalog and calibrated throughput table."""
+
+from .calibration import (
+    CALIBRATED_SPS,
+    UnsupportedConfiguration,
+    baseline_sps,
+    local_sps,
+    supports,
+)
+from .gpus import GPUS, GpuSpec, get_gpu
+
+__all__ = [
+    "CALIBRATED_SPS",
+    "GPUS",
+    "GpuSpec",
+    "UnsupportedConfiguration",
+    "baseline_sps",
+    "get_gpu",
+    "local_sps",
+    "supports",
+]

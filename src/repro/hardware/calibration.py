@@ -1,0 +1,148 @@
+"""Calibrated single-device training throughput (samples/second).
+
+The study's conclusions rest on the ratio of calculation to
+communication time, so the compute side is anchored on every absolute
+throughput number the paper reports (DESIGN.md Section 6 lists them):
+
+* ConvNextLarge: 80 SPS on a T4, 185 on an A10, 194.8 on the RTX8000,
+  413 on the DGX-2 (8xV100 DDP), 207 on the 4xT4 DDP node.
+* RoBERTaXLM: ~209 on a T4 (575.1 at A-8 / 2.75x), 431.8 on the
+  RTX8000, 1811 on the DGX-2; ~463 on an A10 (1059.9 at 8xA10 / 2.29x).
+* WhisperSmall: ~12.7 on a T4 (28 SPS at 8xT4 / 2.2x), 46 on the A100,
+  24 on the 4xT4 DDP node.
+
+Unreported pairs are filled by scaling within the GPU column so that
+relative model costs stay consistent with Figures 3-6 (e.g. WRN101
+trains faster than RN152 despite having twice the parameters, and
+RoBERTaXLM trains faster than RoBERTaLarge because the larger
+vocabulary only grows an embedding lookup).
+
+Throughputs are *baseline* values: single device, native PyTorch,
+gradient accumulation to the target batch size. Hivemind's local
+penalty (Figure 2) is applied on top via ``ModelSpec.local_penalty``.
+"""
+
+from __future__ import annotations
+
+from ..models import ModelSpec, get_model
+from .gpus import GpuSpec, get_gpu
+
+__all__ = [
+    "baseline_sps",
+    "local_sps",
+    "supports",
+    "CALIBRATED_SPS",
+    "UnsupportedConfiguration",
+]
+
+
+class UnsupportedConfiguration(Exception):
+    """The paper found this (model, device) pair untrainable (OOM)."""
+
+
+#: baseline samples/second by (gpu key, model key).
+CALIBRATED_SPS: dict[tuple[str, str], float] = {
+    # --- T4 (GC n1-standard-8, AWS g4dn.2xlarge, Azure NC4as_T4_v3) -----
+    ("t4", "rn18"): 480.0,
+    ("t4", "rn50"): 240.0,
+    ("t4", "rn152"): 100.0,
+    ("t4", "wrn101"): 130.0,
+    ("t4", "conv"): 80.0,
+    ("t4", "rbase"): 270.0,
+    ("t4", "rlrg"): 190.0,
+    ("t4", "rxlm"): 209.0,
+    ("t4", "whisper-tiny"): 70.0,
+    ("t4", "whisper-base"): 35.0,
+    ("t4", "whisper-small"): 12.7,
+    # --- A10 (LambdaLabs, $0.60/h) --------------------------------------
+    ("a10", "rn18"): 1100.0,
+    ("a10", "rn50"): 550.0,
+    ("a10", "rn152"): 230.0,
+    ("a10", "wrn101"): 300.0,
+    ("a10", "conv"): 185.0,
+    ("a10", "rbase"): 600.0,
+    ("a10", "rlrg"): 420.0,
+    ("a10", "rxlm"): 463.0,
+    ("a10", "whisper-tiny"): 165.0,
+    ("a10", "whisper-base"): 82.0,
+    ("a10", "whisper-small"): 30.0,
+    # --- RTX8000 (on-premise consumer-grade, setting E) -----------------
+    ("rtx8000", "rn18"): 1170.0,
+    ("rtx8000", "rn50"): 585.0,
+    ("rtx8000", "rn152"): 244.0,
+    ("rtx8000", "wrn101"): 317.0,
+    ("rtx8000", "conv"): 194.8,
+    ("rtx8000", "rbase"): 660.0,
+    ("rtx8000", "rlrg"): 464.0,
+    ("rtx8000", "rxlm"): 431.8,
+    ("rtx8000", "whisper-small"): 31.0,
+    # --- DGX-2 node: 8xV100 with PyTorch DDP, one participant -----------
+    ("dgx2", "rn18"): 2480.0,
+    ("dgx2", "rn50"): 1240.0,
+    ("dgx2", "rn152"): 516.0,
+    ("dgx2", "wrn101"): 671.0,
+    ("dgx2", "conv"): 413.0,
+    ("dgx2", "rbase"): 1390.0,
+    ("dgx2", "rlrg"): 980.0,
+    ("dgx2", "rxlm"): 1811.0,
+    # --- A100 80GB (Whisper case study, Section 11) ---------------------
+    ("a100", "conv"): 520.0,
+    ("a100", "rxlm"): 1150.0,
+    ("a100", "whisper-tiny"): 250.0,
+    ("a100", "whisper-base"): 125.0,
+    ("a100", "whisper-small"): 46.0,
+    # --- 4xT4 single node with PyTorch DDP (Section 7 / Section 11) -----
+    ("4xt4", "rn18"): 1250.0,
+    ("4xt4", "rn50"): 620.0,
+    ("4xt4", "rn152"): 259.0,
+    ("4xt4", "wrn101"): 337.0,
+    ("4xt4", "conv"): 207.0,
+    ("4xt4", "whisper-tiny"): 132.0,
+    ("4xt4", "whisper-base"): 66.0,
+    ("4xt4", "whisper-small"): 24.0,
+}
+
+#: Pairs the paper reports as out-of-memory: the NLP models could not be
+#: trained on the 4xT4 DDP node (Section 7).
+UNSUPPORTED: frozenset[tuple[str, str]] = frozenset(
+    {("4xt4", "rbase"), ("4xt4", "rlrg"), ("4xt4", "rxlm")}
+)
+
+#: Fallback efficiency (fraction of peak FP16 FLOPs achieved in
+#: training) per domain; fitted on the calibrated anchors.
+_FALLBACK_EFFICIENCY = {"cv": 0.13, "nlp": 0.45, "asr": 0.07}
+
+
+def supports(gpu: str | GpuSpec, model: str | ModelSpec) -> bool:
+    """Whether this (device, model) pair is trainable per the paper."""
+    gpu_key = gpu.key if isinstance(gpu, GpuSpec) else gpu
+    model_key = model.key if isinstance(model, ModelSpec) else model
+    return (gpu_key, model_key) not in UNSUPPORTED
+
+
+def baseline_sps(gpu: str | GpuSpec, model: str | ModelSpec) -> float:
+    """Single-device baseline throughput in samples/second.
+
+    Prefers the calibrated table; falls back to an FP16-FLOPs
+    proportional estimate for uncovered pairs.
+    """
+    gpu_spec = gpu if isinstance(gpu, GpuSpec) else get_gpu(gpu)
+    model_spec = model if isinstance(model, ModelSpec) else get_model(model)
+    key = (gpu_spec.key, model_spec.key)
+    if key in UNSUPPORTED:
+        raise UnsupportedConfiguration(
+            f"{model_spec.name} does not fit on {gpu_spec.name} (paper: OOM)"
+        )
+    if key in CALIBRATED_SPS:
+        return CALIBRATED_SPS[key]
+    efficiency = _FALLBACK_EFFICIENCY[model_spec.domain]
+    return (
+        gpu_spec.fp16_tflops * 1e12 * efficiency
+        / model_spec.train_flops_per_sample
+    )
+
+
+def local_sps(gpu: str | GpuSpec, model: str | ModelSpec) -> float:
+    """Hivemind *local* throughput: baseline times the GAC penalty."""
+    model_spec = model if isinstance(model, ModelSpec) else get_model(model)
+    return baseline_sps(gpu, model_spec) * model_spec.local_penalty

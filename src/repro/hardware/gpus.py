@@ -1,0 +1,52 @@
+"""GPU accelerator catalog.
+
+Specs of every accelerator the paper uses. FP16 tensor throughput is
+the vendor figure; actual training throughput comes from the calibrated
+table in :mod:`repro.hardware.calibration`, with FLOPs-based scaling as
+the documented fallback.
+
+``avg_stream_cap_bps`` is the effective per-VM egress rate Hivemind can
+sustain while averaging (serialization/CPU bound): the paper observed
+~1.1 Gb/s peak during averaging on A10 VMs (Section 4) and the T4
+instance classes sustain less because of the weaker 8-vCPU hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSpec", "GPUS", "get_gpu"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    key: str
+    name: str
+    fp16_tflops: float
+    memory_gb: float
+    generation: str
+    #: Effective Hivemind averaging egress cap per VM, bits/s.
+    avg_stream_cap_bps: float
+    #: Number of GPUs when the "GPU" is really a multi-GPU node that
+    #: acts as a single Hivemind peer (DGX-2) or a DDP baseline (4xT4).
+    device_count: int = 1
+
+
+GPUS: dict[str, GpuSpec] = {
+    "t4": GpuSpec("t4", "NVIDIA T4", 65.0, 16.0, "turing", 0.70e9),
+    "a10": GpuSpec("a10", "NVIDIA A10", 125.0, 24.0, "ampere", 1.10e9),
+    "rtx8000": GpuSpec("rtx8000", "Quadro RTX 8000", 130.0, 48.0, "turing", 1.10e9),
+    "v100": GpuSpec("v100", "NVIDIA V100", 112.0, 32.0, "volta", 1.10e9),
+    "a100": GpuSpec("a100", "NVIDIA A100 80GB", 312.0, 80.0, "ampere", 1.10e9),
+    # Multi-GPU nodes that act as a single training participant.
+    "dgx2": GpuSpec("dgx2", "DGX-2 (8xV100)", 8 * 112.0, 8 * 32.0, "volta",
+                    1.10e9, device_count=8),
+    "4xt4": GpuSpec("4xt4", "4xT4 node (PCIe)", 4 * 65.0, 4 * 16.0, "turing",
+                    0.70e9, device_count=4),
+}
+
+
+def get_gpu(key: str) -> GpuSpec:
+    if key not in GPUS:
+        raise KeyError(f"unknown GPU {key!r}; known: {sorted(GPUS)}")
+    return GPUS[key]

@@ -1,0 +1,65 @@
+"""Training monitor: scrapes the DHT for peer state and progress.
+
+The paper runs a monitor alongside every multi-GPU experiment that
+scrapes the DHT every second to log peer state and training progress
+(Section 3). Ours does the same through real DHT ``get`` operations —
+each scrape pays the simulated network round trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..simulation import Environment, Interrupt
+from .dht import DhtNode
+
+__all__ = ["TrainingMonitor", "MonitorSample", "PROGRESS_KEY"]
+
+PROGRESS_KEY = "hivemind/progress"
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    time_s: float
+    epoch: Optional[int]
+    live_peers: Optional[int]
+    total_samples: Optional[int]
+
+
+@dataclass
+class TrainingMonitor:
+    """Periodically polls the progress key from its own DHT node."""
+
+    env: Environment
+    node: DhtNode
+    interval_s: float = 10.0
+    samples: list[MonitorSample] = field(default_factory=list)
+
+    def run(self):
+        """Scrape loop; stop by interrupting the process."""
+        try:
+            while True:
+                yield self.env.timeout(self.interval_s)
+                state = yield from self.node.get(PROGRESS_KEY)
+                if state is None:
+                    sample = MonitorSample(self.env.now, None, None, None)
+                else:
+                    sample = MonitorSample(
+                        time_s=self.env.now,
+                        epoch=state.get("epoch"),
+                        live_peers=state.get("live_peers"),
+                        total_samples=state.get("total_samples"),
+                    )
+                self.samples.append(sample)
+        except Interrupt:
+            return self.samples
+
+    @property
+    def observed_epochs(self) -> list[int]:
+        return sorted({s.epoch for s in self.samples if s.epoch is not None})
+
+    @property
+    def max_live_peers(self) -> int:
+        live = [s.live_peers for s in self.samples if s.live_peers is not None]
+        return max(live) if live else 0

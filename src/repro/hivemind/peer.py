@@ -1,0 +1,173 @@
+"""Fully decentralized peer processes (the high-fidelity engine).
+
+The default run loop in :mod:`repro.hivemind.run` advances all peers
+through each hivemind epoch from one coordinator process — faithful to
+Hivemind's *semantics* (the target batch size is a global barrier) and
+fast to simulate. This module provides the decentralized counterpart:
+
+* every peer is its own simulation process, accumulating microbatches
+  at its calibrated rate and publishing progress;
+* the TBS barrier is a :class:`ProgressBoard` the peers themselves
+  update and poll — no central clock;
+* averaging rounds form by rendezvous: the peer that observes the TBS
+  being reached opens the round, everyone deposits its contribution,
+  and the round's opener drives the Moshpit averager; stragglers and
+  dropouts simply miss the round (MoshpitSGD semantics).
+
+Tests cross-validate this engine against the coordinator loop: both
+must produce the same steady-state throughput within a few percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..simulation import Environment, Event
+from .averager import Contribution, MoshpitAverager
+from .matchmaking import MIN_MATCHMAKING_S, matchmaking_delay
+
+__all__ = ["ProgressBoard", "AveragingRendezvous", "DecentralizedPeer",
+           "run_decentralized_epochs"]
+
+
+class ProgressBoard:
+    """Shared sample-count board implementing the TBS barrier.
+
+    In real Hivemind this state lives in the DHT; peers here update a
+    shared structure directly and an event fires when the target is
+    reached — polling latency is modelled by the peers' microbatch
+    cadence, which is how often real peers re-check the DHT.
+    """
+
+    def __init__(self, env: Environment, target_batch_size: int):
+        self.env = env
+        self.target_batch_size = target_batch_size
+        self.counts: dict[str, float] = {}
+        self.reached: Event = env.event()
+
+    @property
+    def total(self) -> float:
+        return sum(self.counts.values())
+
+    def report(self, site: str, samples: float) -> None:
+        self.counts[site] = self.counts.get(site, 0.0) + samples
+        if self.total >= self.target_batch_size and not self.reached.triggered:
+            self.reached.succeed(self.env.now)
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self.reached = self.env.event()
+
+
+@dataclass
+class AveragingRendezvous:
+    """One averaging round the peers rendezvous at."""
+
+    env: Environment
+    averager: MoshpitAverager
+    expected: int
+    #: Matchmaking time paid before the transfers start (the
+    #: asynchronous group-forming thread's minimum, Section 3).
+    matchmaking_s: float = MIN_MATCHMAKING_S
+    contributions: list[Contribution] = field(default_factory=list)
+    done: Optional[Event] = None
+    _started: bool = False
+
+    def __post_init__(self):
+        self.done = self.env.event()
+
+    def deposit(self, contribution: Contribution) -> Event:
+        """Add a contribution; the last depositor triggers the round."""
+        self.contributions.append(contribution)
+        if len(self.contributions) >= self.expected and not self._started:
+            self._started = True
+            self.env.process(self._run())
+        return self.done
+
+    def close_early(self) -> None:
+        """Run with whoever deposited (peers dropped out mid-round)."""
+        if not self._started and self.contributions:
+            self._started = True
+            self.env.process(self._run())
+
+    def _run(self):
+        if self.matchmaking_s > 0:
+            yield self.env.timeout(self.matchmaking_s)
+        result = yield self.env.process(
+            self.averager.run_round(self.contributions)
+        )
+        self.done.succeed(result)
+
+
+class DecentralizedPeer:
+    """One self-driven training participant."""
+
+    def __init__(
+        self,
+        env: Environment,
+        site: str,
+        local_sps: float,
+        board: ProgressBoard,
+        microbatch: int,
+    ):
+        self.env = env
+        self.site = site
+        self.local_sps = local_sps
+        self.board = board
+        self.microbatch = max(int(microbatch), 1)
+        self.samples_contributed = 0.0
+        self.rounds_joined = 0
+
+    def accumulate(self):
+        """Accumulate microbatches until the board says the TBS is hit."""
+        while not self.board.reached.triggered:
+            yield self.env.timeout(self.microbatch / self.local_sps)
+            self.board.report(self.site, self.microbatch)
+            self.samples_contributed += self.microbatch
+        return self.board.counts.get(self.site, 0.0)
+
+
+def run_decentralized_epochs(
+    env: Environment,
+    averager: MoshpitAverager,
+    peers: list[DecentralizedPeer],
+    epochs: int,
+    rng: np.random.Generator,
+    min_matchmaking_s: float = MIN_MATCHMAKING_S,
+):
+    """Drive ``epochs`` hivemind epochs with self-coordinating peers.
+
+    Returns (per-epoch wall times, per-epoch samples) via the process
+    return value.
+    """
+    board = peers[0].board
+    wall_times: list[float] = []
+    samples: list[int] = []
+
+    def peer_epoch(peer: DecentralizedPeer, rendezvous: AveragingRendezvous):
+        contributed = yield from peer.accumulate()
+        done = rendezvous.deposit(
+            Contribution(peer.site, int(round(contributed)) or 1)
+        )
+        peer.rounds_joined += 1
+        yield done
+
+    for __ in range(epochs):
+        epoch_start = env.now
+        board.reset()
+        expected_calc = (board.target_batch_size
+                         / sum(p.local_sps for p in peers))
+        rendezvous = AveragingRendezvous(
+            env, averager, expected=len(peers),
+            matchmaking_s=matchmaking_delay(rng, expected_calc,
+                                            min_matchmaking_s),
+        )
+        workers = [env.process(peer_epoch(peer, rendezvous))
+                   for peer in peers]
+        yield env.all_of(workers)
+        wall_times.append(env.now - epoch_start)
+        samples.append(int(round(board.total)))
+    return wall_times, samples

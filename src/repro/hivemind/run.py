@@ -1,0 +1,519 @@
+"""End-to-end simulated Hivemind training runs.
+
+:func:`run_hivemind` wires every substrate together: the network fabric
+and topology, calibrated per-peer compute rates, matchmaking, the
+Moshpit averager, data loading from the object store, the DHT +
+monitor, and (optionally) a spot fleet with interruptions and a real
+numpy model trained with real gradients.
+
+The returned :class:`RunResult` carries everything the paper reports
+per experiment: global/local throughput, per-epoch calculation /
+matchmaking / transfer splits, the granularity metric, egress traffic
+by class and by site, and the data-loading bill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..cloud import InterruptionModel, SpotFleet, get_instance_type
+from ..data import StoreLink, get_dataset
+from ..hardware import get_gpu, local_sps
+from ..models import ModelSpec, get_model
+from ..network import Fabric, Topology
+from ..simulation import Environment, RandomStreams
+from ..training import MLP, SGD, compute_gradient, make_classification_data
+from .averager import Contribution, MoshpitAverager
+from .dht import DhtNetwork, DhtNode
+from .matchmaking import MIN_MATCHMAKING_S, form_groups, matchmaking_delay
+from .monitor import PROGRESS_KEY, TrainingMonitor
+
+__all__ = [
+    "PeerSpec",
+    "NumericConfig",
+    "HivemindRunConfig",
+    "EpochStats",
+    "RunResult",
+    "run_hivemind",
+]
+
+
+@dataclass(frozen=True)
+class PeerSpec:
+    """One training participant: a network site plus its accelerator."""
+
+    site: str
+    gpu: str  # key into the GPU catalog ("t4", "a10", "rtx8000", "dgx2")
+
+    @property
+    def instance_key(self) -> Optional[str]:
+        """Best-effort mapping to the instance catalog for pricing."""
+        provider = self.site.split(":", 1)[0]
+        mapping = {
+            ("gc", "t4"): "gc-t4",
+            ("aws", "t4"): "aws-t4",
+            ("azure", "t4"): "azure-t4",
+            ("lambda", "a10"): "lambda-a10",
+            ("gc", "dgx2"): "gc-dgx2",
+            ("gc", "4xt4"): "gc-4xt4",
+            ("gc", "a100"): "gc-a100",
+            ("onprem", "rtx8000"): "onprem-rtx8000",
+            ("onprem", "dgx2"): "onprem-dgx2",
+        }
+        return mapping.get((provider, self.gpu))
+
+
+@dataclass(frozen=True)
+class NumericConfig:
+    """Train a real (small) numpy model inside the simulation.
+
+    The proxy model stands in numerically for the full-size model: the
+    simulated payload still uses the real parameter count, but the
+    gradients exchanged and applied are genuine.
+    """
+
+    in_features: int = 16
+    hidden: tuple[int, ...] = (32,)
+    num_classes: int = 4
+    learning_rate: float = 0.2
+    dataset_size: int = 512
+
+
+@dataclass
+class HivemindRunConfig:
+    model: str
+    peers: list[PeerSpec]
+    topology: Topology
+    target_batch_size: int = 32768
+    epochs: int = 5
+    codec: str = "fp16"
+    min_matchmaking_s: float = MIN_MATCHMAKING_S
+    seed: int = 0
+    #: Delayed-parameter-update style overlap of averaging with the next
+    #: accumulation round (ablation; the paper's measured behaviour is
+    #: additive calc + comm, so the default is False).
+    overlap_communication: bool = False
+    account_data_loading: bool = True
+    numeric: Optional[NumericConfig] = None
+    interruption_model: Optional[InterruptionModel] = None
+    startup_s: float = 120.0
+    resync_s: float = 60.0
+    monitor_interval_s: Optional[float] = 25.0
+    #: When set, sample system metrics (egress, live peers, progress)
+    #: every interval — the paper logs system metrics every second.
+    metrics_interval_s: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.peers:
+            raise ValueError("need at least one peer")
+        if self.target_batch_size < 1:
+            raise ValueError("target_batch_size must be >= 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One system-metrics snapshot (paper: logged every second)."""
+
+    time_s: float
+    live_peers: int
+    epochs_done: int
+    samples_applied: int
+    egress_bytes_total: float
+    active_flows: int
+
+
+@dataclass
+class EpochStats:
+    index: int
+    calc_s: float
+    matchmaking_s: float
+    transfer_s: float
+    wall_s: float
+    samples: int
+    live_peers: int
+    loss: Optional[float] = None
+
+    @property
+    def comm_s(self) -> float:
+        return self.matchmaking_s + self.transfer_s
+
+    @property
+    def granularity(self) -> float:
+        return self.calc_s / self.comm_s if self.comm_s > 0 else float("inf")
+
+
+@dataclass
+class RunResult:
+    config: HivemindRunConfig
+    epochs: list[EpochStats]
+    duration_s: float
+    egress_bytes_by_class: dict[str, float]
+    egress_bytes_by_site: dict[str, float]
+    egress_bytes_by_pair: dict[tuple[str, str], float]
+    averaging_bytes: float
+    data_ingress_bytes_by_site: dict[str, float]
+    monitor_samples: int = 0
+    interruptions: int = 0
+    state_syncs: int = 0
+    losses: list[float] = field(default_factory=list)
+    metrics: list[MetricSample] = field(default_factory=list)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(e.samples for e in self.epochs)
+
+    @property
+    def throughput_sps(self) -> float:
+        """Global throughput: applied samples over wall time."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.total_samples / self.duration_s
+
+    @property
+    def calc_time_s(self) -> float:
+        return sum(e.calc_s for e in self.epochs)
+
+    @property
+    def comm_time_s(self) -> float:
+        return sum(e.comm_s for e in self.epochs)
+
+    @property
+    def granularity(self) -> float:
+        """The paper's key metric: calculation over communication time."""
+        if self.comm_time_s <= 0:
+            return float("inf")
+        return self.calc_time_s / self.comm_time_s
+
+    @property
+    def local_throughput_sps(self) -> float:
+        """Normalized throughput without the averaging step."""
+        calc = self.calc_time_s
+        if calc <= 0:
+            return 0.0
+        return self.total_samples / calc
+
+    def speedup_over(self, baseline_sps: float) -> float:
+        return self.throughput_sps / baseline_sps
+
+    def average_egress_rate_bps(self) -> float:
+        """Mean per-site averaging egress rate over the whole run."""
+        if self.duration_s <= 0 or not self.egress_bytes_by_site:
+            return 0.0
+        mean_bytes = float(
+            np.mean(list(self.egress_bytes_by_site.values()))
+        )
+        return mean_bytes * 8.0 / self.duration_s
+
+
+class _NumericState:
+    """Per-peer real-model replicas plus a shared synthetic dataset."""
+
+    def __init__(self, config: NumericConfig, sites: list[str], seed: int):
+        rng = np.random.default_rng(seed)
+        self.features, self.labels = make_classification_data(
+            rng,
+            num_samples=config.dataset_size,
+            num_features=config.in_features,
+            num_classes=config.num_classes,
+        )
+        self.replicas = {}
+        self.optimizers = {}
+        for site in sites:
+            model = MLP(config.in_features, list(config.hidden),
+                        config.num_classes, rng=np.random.default_rng(seed + 1))
+            self.replicas[site] = model
+            self.optimizers[site] = SGD(model.parameters(),
+                                        lr=config.learning_rate)
+        self.rng = rng
+
+    def gradient_for(self, site: str, num_samples: int):
+        count = max(min(num_samples, len(self.features)), 1)
+        index = self.rng.integers(0, len(self.features), size=count)
+        gradient, loss = compute_gradient(
+            self.replicas[site], self.features[index], self.labels[index]
+        )
+        return gradient * count, count, loss
+
+    def apply(self, sites: list[str], average: np.ndarray) -> None:
+        for site in sites:
+            self.replicas[site].load_grad_vector(average)
+            self.optimizers[site].step()
+
+
+def run_hivemind(config: HivemindRunConfig) -> RunResult:
+    """Simulate a full Hivemind training run; see module docstring."""
+    model = get_model(config.model)
+    env = Environment()
+    fabric = Fabric(env, config.topology)
+    streams = RandomStreams(config.seed)
+
+    sites = [peer.site for peer in config.peers]
+    rates = {
+        peer.site: local_sps(peer.gpu, model) for peer in config.peers
+    }
+    plan = form_groups(config.topology, sites)
+    caps = {
+        peer.site: get_gpu(peer.gpu).avg_stream_cap_bps
+        for peer in config.peers
+    }
+    averager = MoshpitAverager(
+        env,
+        fabric,
+        plan,
+        parameter_count=model.parameters,
+        codec=config.codec,
+        stream_caps_bps=caps,
+    )
+
+    links: dict[str, StoreLink] = {}
+    if config.account_data_loading:
+        dataset = get_dataset(model.dataset)
+        links = {site: StoreLink(dataset) for site in sites}
+
+    fleet: Optional[SpotFleet] = None
+    #: Sites whose training state is current; a peer that rejoins after
+    #: an interruption must first download the model state from a live
+    #: peer (the paper observed this taking up to two hivemind epochs
+    #: because averaging keeps the network busy).
+    synced: set[str] = set(sites)
+    state_syncs = [0]
+    if config.interruption_model is not None:
+        fleet = SpotFleet(
+            env,
+            streams.stream("interruptions"),
+            slots=[
+                (peer.site, get_instance_type(peer.instance_key or "gc-t4"))
+                for peer in config.peers
+            ],
+            interruption_model=config.interruption_model,
+            startup_s=config.startup_s,
+            resync_s=0.0,  # replaced by the explicit state transfer
+        )
+
+        def resync(site: str):
+            donors = [s for s in synced if s != site]
+            if donors:
+                donor = min(
+                    donors, key=lambda d: config.topology.rtt_s(d, site)
+                )
+                yield fabric.transfer(
+                    donor, site, model.gradient_bytes("fp16"), tag="sync"
+                )
+                state_syncs[0] += 1
+            synced.add(site)
+
+        def on_fleet_event(event):
+            if not event.up:
+                synced.discard(event.site)
+            elif env.now > 0:  # a rejoin, not the initial boot
+                env.process(resync(event.site))
+
+        fleet.subscribe(on_fleet_event)
+
+    def live_sites() -> list[str]:
+        if fleet is None:
+            return list(sites)
+        return [slot.site for slot in fleet.slots
+                if slot.up and slot.site in synced]
+
+    numeric = (
+        _NumericState(config.numeric, sites, config.seed)
+        if config.numeric is not None
+        else None
+    )
+
+    # -- DHT + monitor -----------------------------------------------------
+    dht_network = DhtNetwork(env, fabric)
+    dht_nodes = {site: DhtNode(dht_network, site) for site in sites}
+    coordinator_node = dht_nodes[sites[0]]
+    monitor = None
+    monitor_process = None
+    if config.monitor_interval_s is not None:
+        monitor = TrainingMonitor(
+            env, coordinator_node, interval_s=config.monitor_interval_s
+        )
+
+    epoch_stats: list[EpochStats] = []
+    losses: list[float] = []
+    metric_samples: list[MetricSample] = []
+    matchmaking_rng = streams.stream("matchmaking")
+
+    def metrics_logger():
+        from ..simulation import Interrupt
+
+        try:
+            while True:
+                yield env.timeout(config.metrics_interval_s)
+                metric_samples.append(MetricSample(
+                    time_s=env.now,
+                    live_peers=len(live_sites()),
+                    epochs_done=len(epoch_stats),
+                    samples_applied=sum(e.samples for e in epoch_stats),
+                    egress_bytes_total=fabric.meter.total_bytes,
+                    active_flows=fabric.active_flows,
+                ))
+        except Interrupt:
+            return
+
+    def publish_progress(epoch: int, live: int, total_samples: int):
+        yield from coordinator_node.store(
+            PROGRESS_KEY,
+            {"epoch": epoch, "live_peers": live, "total_samples": total_samples},
+            ttl_s=600.0,
+        )
+
+    def accumulate(target: int):
+        """Advance time until the live peers accumulated ``target``
+        samples; returns {site: samples} actually contributed."""
+        contributed: dict[str, float] = {site: 0.0 for site in sites}
+        remaining = float(target)
+        while remaining > 1e-9:
+            live = live_sites()
+            if not live:
+                yield env.timeout(10.0)
+                continue
+            effective: dict[str, float] = {}
+            for site in live:
+                rate = rates[site]
+                if site in links:
+                    data_rate = links[site].demand_bps(rate)
+                    max_rate = links[site].link_capacity_bps / (
+                        8.0 * links[site].dataset.bytes_per_sample
+                    )
+                    if data_rate >= links[site].link_capacity_bps:
+                        rate = min(rate, max_rate)
+                effective[site] = rate
+            total_rate = sum(effective.values())
+            dt = remaining / total_rate
+            step = min(dt, 30.0)
+            yield env.timeout(step)
+            for site, rate in effective.items():
+                quantum = rate * step
+                contributed[site] += quantum
+            remaining -= total_rate * step
+        for site, count in contributed.items():
+            if site in links and count > 0:
+                links[site].consume(count)
+        return contributed
+
+    def training():
+        # Bootstrap the DHT before training starts.
+        bootstrap = dht_nodes[sites[0]]
+        for site in sites[1:]:
+            yield from dht_nodes[site].join(bootstrap)
+        pending_round = None
+        pending_sites: list[str] = []
+        for epoch in range(config.epochs):
+            epoch_start = env.now
+            contributed = yield from accumulate(config.target_batch_size)
+            calc_s = env.now - epoch_start
+
+            delay = matchmaking_delay(
+                matchmaking_rng, calc_s, config.min_matchmaking_s
+            )
+            yield env.timeout(delay)
+
+            live = [site for site, count in contributed.items() if count > 0]
+            contributions = []
+            loss_values = []
+            for site in live:
+                count = int(round(contributed[site]))
+                if count <= 0:
+                    continue
+                if numeric is not None:
+                    weighted, count, loss = numeric.gradient_for(site, count)
+                    loss_values.append(loss)
+                    contributions.append(
+                        Contribution(site, count, weighted_sum=weighted)
+                    )
+                else:
+                    contributions.append(Contribution(site, count))
+
+            if config.overlap_communication and pending_round is not None:
+                # Make sure the previous (overlapped) round has landed.
+                previous = yield pending_round
+                if numeric is not None and previous.average is not None:
+                    numeric.apply(pending_sites, previous.average)
+                pending_round = None
+
+            round_process = env.process(averager.run_round(contributions))
+            if config.overlap_communication:
+                pending_round = round_process
+                pending_sites = live
+                transfer_s = 0.0  # accounted when the round lands
+            else:
+                result = yield round_process
+                transfer_s = result.wall_time_s
+                if numeric is not None and result.average is not None:
+                    numeric.apply(live, result.average)
+
+            if loss_values:
+                losses.append(float(np.mean(loss_values)))
+            samples = int(sum(contributed.values()))
+            epoch_stats.append(
+                EpochStats(
+                    index=epoch,
+                    calc_s=calc_s,
+                    matchmaking_s=delay,
+                    transfer_s=transfer_s,
+                    wall_s=env.now - epoch_start,
+                    samples=samples,
+                    live_peers=len(live),
+                    loss=losses[-1] if loss_values else None,
+                )
+            )
+            env.process(publish_progress(epoch, len(live), samples))
+        if config.overlap_communication and pending_round is not None:
+            final = yield pending_round
+            if epoch_stats:
+                epoch_stats[-1].transfer_s = final.wall_time_s
+            if numeric is not None and final.average is not None:
+                numeric.apply(pending_sites, final.average)
+
+    main = env.process(training())
+    if monitor is not None:
+        monitor_process = env.process(monitor.run())
+    metrics_process = None
+    if config.metrics_interval_s is not None:
+        metrics_process = env.process(metrics_logger())
+    env.run(main)
+    duration = env.now
+    if monitor_process is not None and monitor_process.is_alive:
+        monitor_process.interrupt("run finished")
+        env.run(monitor_process)
+    if metrics_process is not None and metrics_process.is_alive:
+        metrics_process.interrupt("run finished")
+        env.run(metrics_process)
+
+    if config.overlap_communication:
+        # Fill in per-epoch transfer times measured by the averager.
+        for stats in epoch_stats:
+            if stats.transfer_s == 0.0 and stats.index < len(epoch_stats) - 1:
+                stats.transfer_s = 0.0  # hidden behind the next epoch's calc
+
+    averaging_bytes = sum(
+        nbytes
+        for (src, dst), nbytes in fabric.meter.by_pair.items()
+    )
+    return RunResult(
+        config=config,
+        epochs=epoch_stats,
+        duration_s=duration,
+        egress_bytes_by_class=dict(fabric.meter.by_class),
+        egress_bytes_by_site=dict(fabric.meter.egress_by_site),
+        egress_bytes_by_pair=dict(fabric.meter.by_pair),
+        averaging_bytes=averaging_bytes,
+        data_ingress_bytes_by_site={
+            site: link.bill.ingress_bytes for site, link in links.items()
+        },
+        monitor_samples=len(monitor.samples) if monitor is not None else 0,
+        interruptions=fleet.total_interruptions if fleet is not None else 0,
+        state_syncs=state_syncs[0],
+        losses=losses,
+        metrics=metric_samples,
+    )

@@ -1,0 +1,52 @@
+"""Parametric model families for scaling-law studies.
+
+The paper builds on SWARM's "square-cube" law (Section 9): growing a
+model linearly grows its communication time linearly but its
+calculation time quadratically, so *larger* models are relatively
+cheaper to distribute. The paper's contribution is the other end — at
+small scales, granularity decides — and this module provides the tool
+to connect the two: synthetic transformer families whose FLOPs scale
+quadratically with the parameter count, registered as regular
+:class:`~repro.models.specs.ModelSpec` objects so the whole pipeline
+(calibration fallback, averaging payloads, analytical prediction) works
+on them unchanged.
+"""
+
+from __future__ import annotations
+
+from ..models.specs import Domain, ModelSpec
+
+__all__ = ["synthetic_transformer", "square_cube_family"]
+
+
+def synthetic_transformer(
+    scale: float,
+    base_parameters: int = 50_000_000,
+    base_flops_per_sample: float = 3 * 20e9,
+    local_penalty: float = 0.65,
+) -> ModelSpec:
+    """A transformer scaled by ``scale`` under the square-cube law.
+
+    Parameters grow linearly with ``scale`` (wider layers), while the
+    training FLOPs per sample grow quadratically (wider × deeper
+    compute per token) — the regime SWARM analyses.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return ModelSpec(
+        key=f"synth-x{scale:g}",
+        name=f"SyntheticTransformer(x{scale:g})",
+        domain=Domain.NLP,
+        parameters=int(base_parameters * scale),
+        dataset="wikipedia",
+        layer_mix=("transformer",),
+        local_penalty=local_penalty,
+        train_flops_per_sample=base_flops_per_sample * scale ** 2,
+    )
+
+
+def square_cube_family(
+    scales: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0),
+) -> list[ModelSpec]:
+    """A family of synthetic transformers spanning the scaling axis."""
+    return [synthetic_transformer(scale) for scale in scales]

@@ -1,0 +1,68 @@
+"""Model descriptors: everything the study needs to know about a model.
+
+The study treats models as workloads characterized by parameter count
+(which fixes the gradient payload exchanged during averaging), the
+domain (CV / NLP / ASR, which fixes the dataset and per-sample payload),
+and per-GPU throughput (calibrated separately in
+:mod:`repro.hardware.calibration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ModelSpec", "Domain"]
+
+
+class Domain:
+    CV = "cv"
+    NLP = "nlp"
+    ASR = "asr"
+
+    ALL = (CV, NLP, ASR)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A deep learning model as characterized by the study."""
+
+    key: str
+    name: str
+    domain: str
+    parameters: int
+    #: Dataset used by the paper for this domain.
+    dataset: str
+    #: Dominant layer types, as discussed in Section 3 (granularity
+    #: depends on the layer mix, not just the parameter count).
+    layer_mix: tuple[str, ...]
+    #: The paper's Hivemind *local* penalty: gradient accumulation in
+    #: Hivemind reaches only this fraction of the native baseline
+    #: throughput (Figure 2; 0.48 for ConvNextLarge ... 0.78 for RN152).
+    local_penalty: float
+    #: Approximate training FLOPs per sample (forward + backward), used
+    #: only as a fallback when no calibrated throughput exists.
+    train_flops_per_sample: float
+
+    def __post_init__(self):
+        if self.domain not in Domain.ALL:
+            raise ValueError(f"unknown domain {self.domain!r}")
+        if not 0 < self.local_penalty <= 1:
+            raise ValueError("local_penalty must be in (0, 1]")
+        if self.parameters <= 0:
+            raise ValueError("parameters must be positive")
+
+    @property
+    def parameters_m(self) -> float:
+        """Parameter count in millions, as quoted by the paper."""
+        return self.parameters / 1e6
+
+    def gradient_bytes(self, compression: str = "fp16") -> float:
+        """Size of one accumulated gradient exchanged between peers.
+
+        The paper selects FP16 compression for peer-to-peer
+        communication (Section 3), i.e. two bytes per parameter.
+        """
+        bytes_per_parameter = {"fp32": 4.0, "fp16": 2.0, "int8": 1.0}
+        if compression not in bytes_per_parameter:
+            raise ValueError(f"unknown compression {compression!r}")
+        return self.parameters * bytes_per_parameter[compression]

@@ -1,0 +1,310 @@
+"""Flow-level network simulation with max-min fair bandwidth sharing.
+
+The fabric models every in-flight transfer as a fluid flow constrained
+by three kinds of resources:
+
+* the source NIC (all flows leaving a site share its egress capacity),
+* the destination NIC (ingress),
+* the path capacity between the two sites,
+
+plus a per-flow ceiling from the TCP model: ``streams × window/RTT``
+(and optionally an application-level per-stream cap, used to model
+Hivemind's ~1.1 Gb/s serialization limit). Rates are assigned by
+progressive filling (max-min fairness) and recomputed whenever a flow
+starts or finishes, which is the standard fluid approximation for TCP
+fair sharing.
+
+Every completed transfer is recorded in a :class:`TrafficMeter` so the
+cost model can later price egress per traffic class.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+import numpy as np
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..simulation import Environment, Event
+from .topology import Site, Topology, classify_traffic
+
+__all__ = ["Fabric", "Flow", "TrafficMeter"]
+
+_EPS = 1e-9
+
+
+@dataclass(eq=False)
+class Flow:
+    """One in-flight transfer (hashable by identity)."""
+
+    flow_id: int
+    src: Site
+    dst: Site
+    total_bytes: float
+    remaining_bytes: float
+    ceiling_bps: float
+    done: Event
+    tag: Optional[str] = None
+    rate_bps: float = 0.0
+    #: Extra shared resources (application channels) this flow uses.
+    channels: tuple[str, ...] = ()
+
+    @property
+    def resources(self) -> tuple[str, ...]:
+        if self.src.name == self.dst.name:
+            return self.channels
+        return (
+            f"egress:{self.src.name}",
+            f"ingress:{self.dst.name}",
+            f"path:{'|'.join(sorted((self.src.name, self.dst.name)))}",
+        ) + self.channels
+
+
+class TrafficMeter:
+    """Accumulates transferred bytes per site pair and traffic class."""
+
+    def __init__(self):
+        self.by_pair: dict[tuple[str, str], float] = defaultdict(float)
+        self.by_class: dict[str, float] = defaultdict(float)
+        #: Egress bytes leaving each site, keyed by site name.
+        self.egress_by_site: dict[str, float] = defaultdict(float)
+
+    def record(self, src: Site, dst: Site, nbytes: float) -> None:
+        if nbytes <= 0:
+            return
+        self.by_pair[(src.name, dst.name)] += nbytes
+        self.by_class[classify_traffic(src, dst)] += nbytes
+        self.egress_by_site[src.name] += nbytes
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self.by_pair.values())
+
+    def reset(self) -> None:
+        self.by_pair.clear()
+        self.by_class.clear()
+        self.egress_by_site.clear()
+
+
+@dataclass
+class _ResourceState:
+    capacity: float
+    members: set = field(default_factory=set)
+
+
+class Fabric:
+    """The shared network. Created once per simulated experiment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        stream_cap_bps: Optional[float] = None,
+        jitter: float = 0.0,
+        rng=None,
+    ):
+        self.env = env
+        self.topology = topology
+        #: Application-level per-stream throughput cap (bits/s); models
+        #: serialization/CPU bottlenecks on top of TCP. ``None`` = no cap.
+        self.stream_cap_bps = stream_cap_bps
+        #: Lognormal sigma applied to each flow's ceiling — the "wide
+        #: variation, likely due to network utilization" the paper saw
+        #: in its microbenchmarks. 0 disables jitter.
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        self.jitter = jitter
+        self._rng = rng
+        self.meter = TrafficMeter()
+        self._flows: set[Flow] = set()
+        self._flow_ids = itertools.count()
+        self._last_update = env.now
+        self._generation = 0
+        self._channel_caps: dict[str, float] = {}
+
+    def define_channel(self, name: str, capacity_bps: float) -> None:
+        """Register a shared application channel (e.g. a per-VM
+        serialization budget that all averaging flows of that VM share)."""
+        if capacity_bps <= 0:
+            raise ValueError("channel capacity must be positive")
+        self._channel_caps[name] = capacity_bps
+
+    # -- public API -------------------------------------------------------
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        streams: int = 1,
+        stream_cap_bps: Optional[float] = None,
+        tag: Optional[str] = None,
+        channels: tuple[str, ...] = (),
+    ) -> Event:
+        """Start a transfer of ``nbytes`` from ``src`` to ``dst``.
+
+        Returns an event that fires (with the flow) once the last byte
+        has arrived, after one-way propagation plus transmission time.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        src_site = self.topology.get(src)
+        dst_site = self.topology.get(dst)
+        path = self.topology.path(src, dst)
+        per_stream = path.single_stream_bps
+        if stream_cap_bps is None:
+            stream_cap_bps = self.stream_cap_bps
+        if stream_cap_bps is not None:
+            per_stream = min(per_stream, stream_cap_bps)
+        for channel in channels:
+            if channel not in self._channel_caps:
+                raise KeyError(f"undefined channel {channel!r}")
+        ceiling = max(streams, 1) * per_stream
+        if self.jitter > 0:
+            if self._rng is None:
+                self._rng = np.random.default_rng(0)
+            ceiling *= float(np.exp(self._rng.normal(0.0, self.jitter)))
+        done = self.env.event()
+        flow = Flow(
+            flow_id=next(self._flow_ids),
+            src=src_site,
+            dst=dst_site,
+            total_bytes=float(nbytes),
+            remaining_bytes=float(nbytes),
+            ceiling_bps=ceiling,
+            done=done,
+            tag=tag,
+            channels=tuple(f"channel:{name}" for name in channels),
+        )
+        self.env.process(self._run_flow(flow, propagation=path.rtt_s / 2.0))
+        return done
+
+    def ping_s(self, a: str, b: str) -> float:
+        """ICMP-style round-trip time between two sites, in seconds."""
+        return self.topology.rtt_s(a, b)
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    # -- flow lifecycle ---------------------------------------------------
+
+    def _run_flow(self, flow: Flow, propagation: float):
+        if propagation > 0:
+            yield self.env.timeout(propagation)
+        if flow.remaining_bytes <= 0:
+            self.meter.record(flow.src, flow.dst, flow.total_bytes)
+            flow.done.succeed(flow)
+            return
+        self._advance_clock()
+        self._flows.add(flow)
+        self._rebalance()
+        yield flow.done
+
+    def _advance_clock(self) -> None:
+        """Account progress of all flows since the last rate change."""
+        elapsed = self.env.now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows:
+                flow.remaining_bytes -= flow.rate_bps * elapsed / 8.0
+        self._last_update = self.env.now
+
+    def _rebalance(self) -> None:
+        """Recompute max-min fair rates and reschedule completion."""
+        self._assign_rates()
+        self._generation += 1
+        self._schedule_next_completion()
+
+    def _assign_rates(self) -> None:
+        resources: dict[str, _ResourceState] = {}
+        for flow in self._flows:
+            flow.rate_bps = 0.0
+            for resource_id in flow.resources:
+                if resource_id not in resources:
+                    resources[resource_id] = _ResourceState(
+                        capacity=self._resource_capacity(resource_id)
+                    )
+                resources[resource_id].members.add(flow)
+            # The per-flow TCP/serialization ceiling as a private resource.
+            private = f"flow:{flow.flow_id}"
+            resources[private] = _ResourceState(capacity=flow.ceiling_bps)
+            resources[private].members.add(flow)
+
+        active = set(self._flows)
+        while active:
+            increment = min(
+                state.capacity / len(state.members)
+                for state in resources.values()
+                if state.members
+            )
+            saturated_flows: set[Flow] = set()
+            for state in resources.values():
+                if not state.members:
+                    continue
+                state.capacity -= increment * len(state.members)
+                if state.capacity <= _EPS * max(1.0, increment):
+                    saturated_flows |= state.members
+            for flow in active:
+                flow.rate_bps += increment
+            if not saturated_flows:
+                # Numerical safety: freeze everything to guarantee progress.
+                saturated_flows = set(active)
+            for flow in saturated_flows:
+                active.discard(flow)
+                for state in resources.values():
+                    state.members.discard(flow)
+
+    def _resource_capacity(self, resource_id: str) -> float:
+        kind, __, rest = resource_id.partition(":")
+        if kind == "egress" or kind == "ingress":
+            return self.topology.get(rest).nic_bps
+        if kind == "path":
+            a, __, b = rest.partition("|")
+            return self.topology.path(a, b).capacity_bps
+        if kind == "channel":
+            return self._channel_caps[rest]
+        raise ValueError(f"unknown resource {resource_id!r}")
+
+    def _schedule_next_completion(self) -> None:
+        if not self._flows:
+            return
+        horizon = min(
+            flow.remaining_bytes * 8.0 / flow.rate_bps
+            for flow in self._flows
+            if flow.rate_bps > 0
+        )
+        # Clamp so the timer always advances the clock: at large
+        # simulation times a tiny dt can round away entirely, which
+        # would stall completion forever.
+        horizon = max(horizon, max(abs(self.env.now), 1.0) * 1e-12, 1e-9)
+        generation = self._generation
+
+        def on_timer(event: Event) -> None:
+            if generation != self._generation:
+                return
+            self._complete_due_flows()
+
+        timer = self.env.timeout(max(horizon, 0.0))
+        timer.callbacks.append(on_timer)
+
+    def _complete_due_flows(self) -> None:
+        self._advance_clock()
+        finished = [
+            flow
+            for flow in self._flows
+            # A flow is done when the residue is a rounding artifact or
+            # would drain within a microsecond at its current rate.
+            if flow.remaining_bytes
+            <= max(
+                _EPS * max(1.0, flow.total_bytes),
+                flow.rate_bps * 1e-6 / 8.0,
+            )
+        ]
+        for flow in finished:
+            self._flows.discard(flow)
+            flow.remaining_bytes = 0.0
+            self.meter.record(flow.src, flow.dst, flow.total_bytes)
+            flow.done.succeed(flow)
+        self._rebalance()

@@ -1,0 +1,176 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Provides the usual trio on top of :mod:`repro.simulation.engine`:
+
+* :class:`Resource` — capacity-limited FIFO resource (e.g. a GPU slot),
+* :class:`Container` — a homogeneous quantity (e.g. bytes of disk cache),
+* :class:`Store` — a queue of arbitrary Python objects (e.g. a mailbox).
+
+Requests are events; processes ``yield`` them and proceed once granted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Container", "Store"]
+
+
+class _Request(Event):
+    """A pending claim on a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._request(self)
+
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A FIFO resource with integer capacity."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[_Request] = []
+        self.queue: deque[_Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of requests currently holding the resource."""
+        return len(self.users)
+
+    def request(self) -> _Request:
+        return _Request(self)
+
+    def _request(self, request: _Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed(request)
+        else:
+            self.queue.append(request)
+
+    def release(self, request: _Request) -> None:
+        """Release a granted request; no-op when it never got the slot."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                pass
+            return
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+
+
+class Container:
+    """A continuous quantity with ``get``/``put`` events."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if init < 0 or init > capacity:
+            raise SimulationError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: deque[tuple[Event, float]] = deque()
+        self._putters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise SimulationError("amount must be >= 0")
+        event = Event(self.env)
+        self._putters.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise SimulationError("amount must be >= 0")
+        event = Event(self.env)
+        self._getters.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed(amount)
+                    progressed = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if amount <= self._level:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """A FIFO store of arbitrary items."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._settle()
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def peek(self) -> Optional[Any]:
+        return self.items[0] if self.items else None
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                event, item = self._putters.popleft()
+                self.items.append(item)
+                event.succeed(item)
+                progressed = True
+            while self._getters and self.items:
+                event = self._getters.popleft()
+                event.succeed(self.items.popleft())
+                progressed = True

@@ -1,0 +1,44 @@
+"""Numerical training substrate: autograd, layers, losses, optimizers."""
+
+from .autograd import Tensor, no_grad
+from .layers import MLP, Embedding, Linear, Module, ReLU, Sequential, Tanh
+from .losses import accuracy, cross_entropy, mse_loss
+from .optimizers import LAMB, SGD, Optimizer
+from .schedules import (
+    ConstantSchedule,
+    WarmupCosineSchedule,
+    clip_gradient_norm,
+)
+from .trainer import (
+    GradientAccumulator,
+    LocalTrainer,
+    TrainLog,
+    compute_gradient,
+    make_classification_data,
+)
+
+__all__ = [
+    "ConstantSchedule",
+    "Embedding",
+    "WarmupCosineSchedule",
+    "clip_gradient_norm",
+    "GradientAccumulator",
+    "LAMB",
+    "Linear",
+    "LocalTrainer",
+    "MLP",
+    "Module",
+    "Optimizer",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Tanh",
+    "Tensor",
+    "TrainLog",
+    "accuracy",
+    "compute_gradient",
+    "cross_entropy",
+    "make_classification_data",
+    "mse_loss",
+    "no_grad",
+]

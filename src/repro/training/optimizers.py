@@ -1,0 +1,114 @@
+"""Optimizers: SGD (with momentum) and LAMB.
+
+LAMB (You et al., "Large batch optimization for deep learning") is the
+optimizer the paper leans on for big-batch training: it normalizes each
+layer's Adam update by a trust ratio so that minibatch sizes of 8K-64K
+remain trainable (Section 3), which is what makes the target batch
+sizes of the study possible at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .autograd import Tensor
+
+__all__ = ["Optimizer", "SGD", "LAMB"]
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        if not 0 <= momentum < 1:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            velocity *= self.momentum
+            velocity += grad
+            parameter.data = parameter.data - self.lr * velocity
+
+
+class LAMB(Optimizer):
+    """Layer-wise Adaptive Moments for Batch training."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 0.001,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-6,
+        weight_decay: float = 0.01,
+        trust_clip: float = 10.0,
+    ):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.trust_clip = trust_clip
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._step_count = 0
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * parameter.data
+            weight_norm = np.linalg.norm(parameter.data)
+            update_norm = np.linalg.norm(update)
+            if weight_norm > 0 and update_norm > 0:
+                trust = min(weight_norm / update_norm, self.trust_clip)
+            else:
+                trust = 1.0
+            parameter.data = parameter.data - self.lr * trust * update

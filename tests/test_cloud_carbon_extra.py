@@ -1,0 +1,55 @@
+"""Tests for the carbon intensity model's diurnal behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import GPU_POWER_W, REGION_INTENSITY, CarbonIntensity
+
+HOUR = 3600.0
+
+
+class TestCarbonIntensity:
+    def test_solar_dip_lowers_midday_intensity(self):
+        grid = CarbonIntensity("test", mean_g_per_kwh=400.0, solar_dip=0.2)
+        midday = grid.at(13 * HOUR)
+        midnight = grid.at(1 * HOUR)
+        assert midday < midnight
+        assert midday == pytest.approx(400.0 * 0.8, rel=0.01)
+
+    def test_daily_mean_preserved(self):
+        grid = CarbonIntensity("test", mean_g_per_kwh=400.0, solar_dip=0.3)
+        hours = np.linspace(0, 24, 480, endpoint=False)
+        mean = np.mean([grid.at(h * HOUR) for h in hours])
+        assert mean == pytest.approx(400.0, rel=1e-3)
+
+    def test_timezone_offsets_shift_the_dip(self):
+        eu = CarbonIntensity("eu", 400.0, solar_dip=0.3, tz_offset_hours=1)
+        aus = CarbonIntensity("aus", 400.0, solar_dip=0.3,
+                              tz_offset_hours=10)
+        # At a fixed UTC instant the two grids sit at different points
+        # of their solar cycle.
+        assert eu.at(12 * HOUR) != aus.at(12 * HOUR)
+
+    def test_flat_grid(self):
+        grid = CarbonIntensity("flat", 300.0, solar_dip=0.0)
+        assert grid.at(0.0) == grid.at(13 * HOUR) == 300.0
+
+
+class TestCatalogs:
+    def test_every_study_location_has_an_intensity(self):
+        from repro.network.profiles import LOCATIONS
+
+        assert set(LOCATIONS) <= set(REGION_INTENSITY)
+
+    def test_belgium_is_the_cleanest_study_grid(self):
+        means = {key: grid.mean_g_per_kwh
+                 for key, grid in REGION_INTENSITY.items()}
+        assert min(means, key=means.get) == "gc:eu"
+
+    def test_every_study_gpu_has_a_power_figure(self):
+        from repro.hardware import GPUS
+
+        assert set(GPUS) <= set(GPU_POWER_W)
+        # Node-level entries exceed their per-GPU components.
+        assert GPU_POWER_W["dgx2"] > 8 * GPU_POWER_W["v100"]
+        assert GPU_POWER_W["4xt4"] > 4 * GPU_POWER_W["t4"]

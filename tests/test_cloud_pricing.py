@@ -1,0 +1,141 @@
+"""Tests for Table 1 pricing and egress price resolution."""
+
+import pytest
+
+from repro.cloud import (
+    B2_EGRESS_PER_GB,
+    B2_STORAGE_PER_GB_MONTH,
+    PRICING,
+    egress_price_per_gb,
+    instance_price_per_hour,
+)
+from repro.network import Site
+
+
+def site(provider, continent, region="r1", zone="z1"):
+    return Site(name=f"{provider}-{zone}", provider=provider, zone=zone,
+                region=region, continent=continent)
+
+
+class TestTable1InstancePrices:
+    def test_t4_spot_prices(self):
+        assert instance_price_per_hour("gc", "t4", spot=True) == 0.180
+        assert instance_price_per_hour("aws", "t4", spot=True) == 0.395
+        assert instance_price_per_hour("azure", "t4", spot=True) == 0.134
+
+    def test_t4_ondemand_prices(self):
+        assert instance_price_per_hour("gc", "t4", spot=False) == 0.572
+        assert instance_price_per_hour("aws", "t4", spot=False) == 0.802
+        assert instance_price_per_hour("azure", "t4", spot=False) == 0.489
+
+    def test_spot_discounts_match_section5(self):
+        """GC saves 69%, Azure 73%, AWS only 51% (Section 5)."""
+        assert PRICING["gc"].spot_discount() == pytest.approx(0.69, abs=0.01)
+        assert PRICING["azure"].spot_discount() == pytest.approx(0.73, abs=0.01)
+        assert PRICING["aws"].spot_discount() == pytest.approx(0.51, abs=0.01)
+
+    def test_aws_spot_more_than_twice_gc_or_azure(self):
+        """Section 5: AWS spot is more than twice as expensive."""
+        aws = instance_price_per_hour("aws", "t4")
+        assert aws > 2 * instance_price_per_hour("gc", "t4")
+        assert aws > 2 * instance_price_per_hour("azure", "t4")
+
+    def test_dgx2_prices(self):
+        assert instance_price_per_hour("gc", "dgx2", spot=True) == 6.30
+        assert instance_price_per_hour("gc", "dgx2", spot=False) == 14.60
+
+    def test_lambda_a10_price(self):
+        assert instance_price_per_hour("lambda", "a10", spot=False) == 0.60
+        # Lambda has no spot tier; both price points coincide.
+        assert instance_price_per_hour("lambda", "a10", spot=True) == 0.60
+
+    def test_4xt4_is_four_t4s(self):
+        assert instance_price_per_hour("gc", "4xt4") == pytest.approx(4 * 0.180)
+
+    def test_8xt4_spot_cheaper_than_dgx2(self):
+        """Section 2.2: 8xT4 at $0.72/h less than half... much cheaper."""
+        assert 8 * instance_price_per_hour("gc", "t4") < instance_price_per_hour(
+            "gc", "dgx2"
+        )
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            instance_price_per_hour("gc", "h100")
+
+
+class TestEgressPrices:
+    def test_intra_zone_billed_at_zone_rate(self):
+        """The paper's D-experiment breakdown charges the internal third
+        of the averaging traffic, so same-zone VM traffic is billed at
+        the provider's first Table 1 traffic row (free only on Azure)."""
+        for provider, expected in (("gc", 0.01), ("aws", 0.01), ("azure", 0.0)):
+            a = site(provider, "US")
+            b = site(provider, "US")
+            assert egress_price_per_gb(a, b) == expected
+
+    def test_inter_zone(self):
+        a = site("gc", "US", zone="z1")
+        b = site("gc", "US", zone="z2")
+        assert egress_price_per_gb(a, b) == 0.01
+        a = site("azure", "US", zone="z1")
+        b = site("azure", "US", zone="z2")
+        assert egress_price_per_gb(a, b) == 0.00
+
+    def test_inter_region_by_continent(self):
+        for provider, continent, expected in [
+            ("gc", "US", 0.01), ("gc", "EU", 0.02), ("gc", "ASIA", 0.05),
+            ("gc", "AUS", 0.08),
+            ("aws", "US", 0.01), ("aws", "EU", 0.01), ("aws", "ASIA", 0.01),
+            ("azure", "US", 0.02), ("azure", "EU", 0.02), ("azure", "ASIA", 0.08),
+        ]:
+            a = site(provider, continent, region="r1", zone="z1")
+            b = site(provider, continent, region="r2", zone="z2")
+            assert egress_price_per_gb(a, b) == expected, (provider, continent)
+
+    def test_any_to_oceania(self):
+        a = site("gc", "US")
+        b = site("gc", "AUS", region="r2", zone="z2")
+        assert egress_price_per_gb(a, b) == 0.15
+        assert egress_price_per_gb(b, a) == 0.15
+        a = site("aws", "US")
+        b = site("aws", "AUS", region="r2", zone="z2")
+        assert egress_price_per_gb(a, b) == 0.02
+
+    def test_between_continents(self):
+        a = site("gc", "US")
+        b = site("gc", "EU", region="r2", zone="z2")
+        assert egress_price_per_gb(a, b) == 0.08
+        a = site("aws", "US")
+        b = site("aws", "EU", region="r2", zone="z2")
+        assert egress_price_per_gb(a, b) == 0.02
+        a = site("azure", "US")
+        b = site("azure", "EU", region="r2", zone="z2")
+        assert egress_price_per_gb(a, b) == 0.02
+
+    def test_aws_egress_capped_at_2_cents(self):
+        """Section 5: AWS caps egress at $0.02/GB to any location."""
+        for continent in ("US", "EU", "ASIA", "AUS"):
+            for other in ("US", "EU", "ASIA", "AUS"):
+                a = site("aws", continent, region="r1", zone="z1")
+                b = site("aws", other, region="r2", zone="z2")
+                assert egress_price_per_gb(a, b) <= 0.02
+
+    def test_lambda_never_charges_egress(self):
+        """Section 7: LambdaLabs does not charge for any data egress."""
+        a = site("lambda", "US")
+        for continent in ("US", "EU", "ASIA", "AUS"):
+            b = site("lambda", continent, region="r2", zone="z2")
+            assert egress_price_per_gb(a, b) == 0.0
+
+    def test_billed_to_source_provider(self):
+        gc_site = site("gc", "US")
+        aws_site = site("aws", "US", region="r2", zone="z2")
+        # GC -> AWS billed at GC's inter-region US rate; reverse at AWS's.
+        assert egress_price_per_gb(gc_site, aws_site) == 0.01
+        assert egress_price_per_gb(aws_site, gc_site) == 0.01
+
+
+def test_backblaze_prices():
+    """Section 3: $0.01/GB egress, $0.005/GB/month storage."""
+    assert B2_EGRESS_PER_GB == 0.01
+    assert B2_STORAGE_PER_GB_MONTH == 0.005

@@ -1,0 +1,119 @@
+"""Tests for the closed-form performance model, incl. cross-validation
+against the discrete-event simulator."""
+
+import pytest
+
+from repro.core import predict
+from repro.hivemind import HivemindRunConfig, PeerSpec, run_hivemind
+from repro.network import build_topology
+
+
+def make_peers(counts, gpu="t4"):
+    peers = []
+    for location, n in counts.items():
+        for i in range(n):
+            peers.append((f"{location}/{i}", gpu))
+    return peers
+
+
+class TestSinglePeer:
+    def test_single_peer_is_the_baseline(self):
+        topo = build_topology({"gc:us": 1})
+        prediction = predict("conv", make_peers({"gc:us": 1}), topo)
+        assert prediction.throughput_sps == pytest.approx(80.0)
+        assert prediction.transfer_s == 0.0
+        assert prediction.granularity == float("inf")
+
+
+class TestPaperAnchors:
+    """The analytical model must land near the paper's headline numbers."""
+
+    @pytest.mark.parametrize("counts,model,expected,tolerance", [
+        ({"gc:us": 8}, "conv", 261.9, 0.15),            # A-8 CV
+        ({"gc:us": 8}, "rxlm", 575.1, 0.15),            # A-8 NLP
+        ({"gc:us": 2}, "conv", 70.1, 0.15),             # A-2 CV
+        ({"gc:us": 2}, "rxlm", 211.4, 0.15),            # A-2 NLP
+        ({"gc:us": 4}, "conv", 140.4, 0.15),            # A-4 CV
+        ({"gc:us": 1, "gc:eu": 1}, "conv", 68.4, 0.15),     # B-2 CV
+        ({"gc:us": 1, "gc:eu": 1}, "rxlm", 177.3, 0.20),    # B-2 NLP
+        ({"gc:us": 2, "gc:eu": 2}, "conv", 135.8, 0.15),    # B-4 CV
+    ])
+    def test_throughput_anchor(self, counts, model, expected, tolerance):
+        topo = build_topology(counts)
+        prediction = predict(model, make_peers(counts), topo)
+        assert prediction.throughput_sps == pytest.approx(expected,
+                                                          rel=tolerance)
+
+    def test_a10_anchors(self):
+        topo = build_topology({"lambda:us-west": 8})
+        peers = make_peers({"lambda:us-west": 8}, gpu="a10")
+        cv = predict("conv", peers, topo)
+        nlp = predict("rxlm", peers, topo)
+        assert cv.throughput_sps == pytest.approx(620.6, rel=0.15)
+        assert nlp.throughput_sps == pytest.approx(1059.9, rel=0.15)
+
+    def test_granularity_anchors(self):
+        """CONV 21.6 and RXLM 4.2 on 2xA10 at TBS 32K (Figure 4)."""
+        topo = build_topology({"lambda:us-west": 2})
+        peers = make_peers({"lambda:us-west": 2}, gpu="a10")
+        assert predict("conv", peers, topo).granularity == pytest.approx(
+            21.6, rel=0.25
+        )
+        assert predict("rxlm", peers, topo).granularity == pytest.approx(
+            4.2, rel=0.35
+        )
+
+
+class TestCrossValidation:
+    """Analytical prediction and discrete-event simulation must agree."""
+
+    @pytest.mark.parametrize("counts,model", [
+        ({"gc:us": 4}, "conv"),
+        ({"gc:us": 8}, "rxlm"),
+        ({"gc:us": 2, "gc:eu": 2}, "conv"),
+        ({"gc:us": 1, "gc:eu": 1, "gc:asia": 1, "gc:aus": 1}, "rxlm"),
+        ({"onprem:eu": 1, "gc:eu": 4}, "conv"),
+    ])
+    def test_simulator_matches_prediction(self, counts, model):
+        topo = build_topology(counts)
+        gpus = {"onprem:eu": "rtx8000"}
+        peers = []
+        for location, n in counts.items():
+            for i in range(n):
+                peers.append((f"{location}/{i}", gpus.get(location, "t4")))
+        prediction = predict(model, peers, topo)
+        config = HivemindRunConfig(
+            model=model,
+            peers=[PeerSpec(site, gpu) for site, gpu in peers],
+            topology=topo,
+            epochs=3,
+            monitor_interval_s=None,
+            account_data_loading=False,
+        )
+        simulated = run_hivemind(config)
+        assert simulated.throughput_sps == pytest.approx(
+            prediction.throughput_sps, rel=0.15
+        )
+        assert simulated.granularity == pytest.approx(
+            prediction.granularity, rel=0.35
+        )
+
+
+class TestShape:
+    def test_prediction_requires_peers(self):
+        topo = build_topology({"gc:us": 1})
+        with pytest.raises(ValueError):
+            predict("conv", [], topo)
+
+    def test_fast_accumulation_gets_instability_penalty(self):
+        topo = build_topology({"lambda:us-west": 8})
+        peers = make_peers({"lambda:us-west": 8}, gpu="a10")
+        fast = predict("rn18", peers, topo, target_batch_size=8192)
+        assert fast.calc_s < 5.0
+        assert fast.matchmaking_s > 5.0
+
+    def test_epoch_decomposition(self):
+        topo = build_topology({"gc:us": 4})
+        p = predict("conv", make_peers({"gc:us": 4}), topo)
+        assert p.epoch_s == pytest.approx(p.calc_s + p.comm_s)
+        assert p.local_throughput_sps > p.throughput_sps

@@ -1,0 +1,79 @@
+"""Tests for the synthetic dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    build_synthetic_shards,
+    commonvoice_like_samples,
+    get_dataset,
+    imagenet_like_samples,
+    iterate_shard,
+    wikipedia_like_samples,
+)
+from repro.data.webdataset import decode_sample
+
+
+class TestImagenetLike:
+    def test_sizes_track_the_descriptor(self):
+        rng = np.random.default_rng(0)
+        samples = list(imagenet_like_samples(rng, 50))
+        sizes = [len(fields["jpg"]) for __, fields in samples]
+        expected = get_dataset("imagenet1k").bytes_per_sample
+        assert np.mean(sizes) == pytest.approx(expected, rel=0.15)
+
+    def test_labels_in_range(self):
+        rng = np.random.default_rng(0)
+        for __, fields in imagenet_like_samples(rng, 20, num_classes=10):
+            assert 0 <= int(fields["cls"]) < 10
+
+    def test_deterministic_given_seed(self):
+        a = list(imagenet_like_samples(np.random.default_rng(1), 5))
+        b = list(imagenet_like_samples(np.random.default_rng(1), 5))
+        assert [f["jpg"] for __, f in a] == [f["jpg"] for __, f in b]
+
+
+class TestWikipediaLike:
+    def test_text_is_utf8_words(self):
+        rng = np.random.default_rng(0)
+        __, fields = next(wikipedia_like_samples(rng, 1))
+        text = fields["txt"].decode("utf-8")
+        assert len(text.split()) > 100
+        assert all(word.isalpha() for word in set(text.split()))
+
+    def test_size_near_descriptor(self):
+        rng = np.random.default_rng(0)
+        samples = list(wikipedia_like_samples(rng, 10))
+        sizes = [len(fields["txt"]) for __, fields in samples]
+        expected = get_dataset("wikipedia").bytes_per_sample
+        assert np.mean(sizes) == pytest.approx(expected, rel=0.05)
+
+
+class TestCommonvoiceLike:
+    def test_spectrogram_shape_and_dtype(self):
+        rng = np.random.default_rng(0)
+        __, fields = next(commonvoice_like_samples(rng, 1))
+        decoded = decode_sample(fields)
+        assert decoded["npy"].shape == (80, 3000)
+        assert decoded["npy"].dtype == np.float16
+        assert isinstance(decoded["txt"], str)
+
+
+class TestBuildShards:
+    def test_builds_readable_shards(self, tmp_path):
+        paths = build_synthetic_shards("imagenet1k", tmp_path, count=30,
+                                       samples_per_shard=10)
+        assert len(paths) == 3
+        samples = list(iterate_shard(paths[0]))
+        assert len(samples) == 10
+        assert set(samples[0][1]) == {"jpg", "cls"}
+
+    def test_all_domains_build(self, tmp_path):
+        for key in ("imagenet1k", "wikipedia", "commonvoice"):
+            paths = build_synthetic_shards(key, tmp_path / key, count=4,
+                                           samples_per_shard=2)
+            assert len(paths) == 2
+
+    def test_unknown_dataset(self, tmp_path):
+        with pytest.raises(KeyError):
+            build_synthetic_shards("mnist", tmp_path)

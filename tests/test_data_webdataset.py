@@ -1,0 +1,183 @@
+"""Tests for the WebDataset tar shard writer/reader and cache."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ObjectStore,
+    ShardCache,
+    WebDataset,
+    batched,
+    decode_sample,
+    iterate_shard,
+    write_shard,
+    write_shards,
+)
+
+
+def make_samples(n, with_array=False):
+    for i in range(n):
+        fields = {
+            "txt": f"sample number {i}".encode(),
+            "cls": str(i % 10).encode(),
+        }
+        if with_array:
+            buffer = io.BytesIO()
+            np.save(buffer, np.full((4,), i, dtype=np.float32))
+            fields["npy"] = buffer.getvalue()
+        yield f"{i:06d}", fields
+
+
+class TestShardRoundtrip:
+    def test_write_and_iterate(self, tmp_path):
+        path = tmp_path / "shard.tar"
+        count = write_shard(path, make_samples(5))
+        assert count == 5
+        samples = list(iterate_shard(path))
+        assert len(samples) == 5
+        key, fields = samples[0]
+        assert key == "000000"
+        assert fields["txt"] == b"sample number 0"
+        assert fields["cls"] == b"0"
+
+    def test_keys_with_dots_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="'.'"):
+            write_shard(tmp_path / "s.tar", [("bad.key", {"txt": b"x"})])
+
+    def test_order_preserved(self, tmp_path):
+        path = tmp_path / "shard.tar"
+        write_shard(path, make_samples(20))
+        keys = [k for k, __ in iterate_shard(path)]
+        assert keys == [f"{i:06d}" for i in range(20)]
+
+    def test_iterate_from_fileobj(self, tmp_path):
+        path = tmp_path / "shard.tar"
+        write_shard(path, make_samples(3))
+        with open(path, "rb") as handle:
+            assert len(list(iterate_shard(handle))) == 3
+
+
+class TestWriteShards:
+    def test_sharding_counts(self, tmp_path):
+        paths = write_shards(tmp_path, make_samples(25), samples_per_shard=10)
+        assert len(paths) == 3
+        counts = [len(list(iterate_shard(p))) for p in paths]
+        assert counts == [10, 10, 5]
+
+    def test_invalid_shard_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_shards(tmp_path, make_samples(3), samples_per_shard=0)
+
+
+class TestDecoding:
+    def test_decode_known_extensions(self):
+        buffer = io.BytesIO()
+        np.save(buffer, np.arange(3, dtype=np.int64))
+        decoded = decode_sample({
+            "txt": "héllo".encode("utf-8"),
+            "cls": b"7",
+            "json": b'{"a": 1}',
+            "npy": buffer.getvalue(),
+        })
+        assert decoded["txt"] == "héllo"
+        assert decoded["cls"] == 7
+        assert decoded["json"] == {"a": 1}
+        np.testing.assert_array_equal(decoded["npy"], np.arange(3))
+
+    def test_unknown_extension_stays_bytes(self):
+        decoded = decode_sample({"jpg": b"\xff\xd8"})
+        assert decoded["jpg"] == b"\xff\xd8"
+
+
+def populate_store(tmp_path, n_samples=30, samples_per_shard=10):
+    shard_dir = tmp_path / "build"
+    paths = write_shards(shard_dir, make_samples(n_samples, with_array=True),
+                         samples_per_shard=samples_per_shard)
+    store = ObjectStore()
+    for path in paths:
+        store.put(f"train/{path.name}", path.read_bytes())
+    return store
+
+
+class TestShardCache:
+    def test_first_fetch_downloads_then_hits(self, tmp_path):
+        store = populate_store(tmp_path)
+        cache = ShardCache(store, tmp_path / "cache")
+        key = store.list_keys()[0]
+        cache.fetch(key)
+        assert (cache.misses, cache.hits) == (1, 0)
+        cache.fetch(key)
+        assert (cache.misses, cache.hits) == (1, 1)
+
+    def test_cached_reads_do_not_bill_egress(self, tmp_path):
+        store = populate_store(tmp_path)
+        cache = ShardCache(store, tmp_path / "cache")
+        key = store.list_keys()[0]
+        cache.fetch(key)
+        billed = store.egress_bytes
+        cache.fetch(key)
+        assert store.egress_bytes == billed
+
+    def test_cached_bytes(self, tmp_path):
+        store = populate_store(tmp_path)
+        cache = ShardCache(store, tmp_path / "cache")
+        for key in store.list_keys():
+            cache.fetch(key)
+        assert cache.cached_bytes == store.stored_bytes
+
+
+class TestWebDataset:
+    def test_iterates_all_samples_decoded(self, tmp_path):
+        store = populate_store(tmp_path, n_samples=30)
+        dataset = WebDataset(store, tmp_path / "cache", prefix="train/")
+        samples = list(dataset)
+        assert len(samples) == 30
+        assert samples[3]["cls"] == 3
+        np.testing.assert_array_equal(samples[3]["npy"], np.full((4,), 3.0))
+
+    def test_empty_prefix_raises(self, tmp_path):
+        store = populate_store(tmp_path)
+        with pytest.raises(ValueError, match="no shards"):
+            WebDataset(store, tmp_path / "cache", prefix="missing/")
+
+    def test_second_epoch_serves_from_cache(self, tmp_path):
+        store = populate_store(tmp_path)
+        dataset = WebDataset(store, tmp_path / "cache", prefix="train/")
+        list(dataset)
+        billed = store.egress_bytes
+        list(dataset)  # epoch 2
+        assert store.egress_bytes == billed
+
+    def test_shuffle_is_a_permutation(self, tmp_path):
+        store = populate_store(tmp_path, n_samples=30)
+        plain = WebDataset(store, tmp_path / "c1", prefix="train/")
+        shuffled = WebDataset(store, tmp_path / "c2", prefix="train/",
+                              shuffle_buffer=8, seed=3)
+        plain_cls = [s["cls"] for s in plain]
+        shuffled_cls = [s["cls"] for s in shuffled]
+        assert sorted(plain_cls) == sorted(shuffled_cls)
+        assert plain_cls != shuffled_cls
+
+    def test_shuffle_deterministic_per_seed(self, tmp_path):
+        store = populate_store(tmp_path, n_samples=30)
+        a = [s["cls"] for s in WebDataset(store, tmp_path / "c1",
+                                          prefix="train/", shuffle_buffer=8,
+                                          seed=5)]
+        b = [s["cls"] for s in WebDataset(store, tmp_path / "c2",
+                                          prefix="train/", shuffle_buffer=8,
+                                          seed=5)]
+        assert a == b
+
+
+class TestBatched:
+    def test_batches(self):
+        assert list(batched(range(5), 2)) == [[0, 1], [2, 3], [4]]
+
+    def test_exact_division(self):
+        assert list(batched(range(4), 2)) == [[0, 1], [2, 3]]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(batched(range(3), 0))

@@ -1,0 +1,136 @@
+"""Tests for experiment specs and the experiment runner."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    build_run_config,
+    centralized_baseline,
+    get_spec,
+    run_experiment,
+)
+
+
+class TestSpecCatalog:
+    def test_table2_experiments_present(self):
+        """Every experiment of Table 2 must exist by name."""
+        for key in ("A-1", "A-2", "A-3", "A-4", "A-6", "A-8",
+                    "B-2", "B-4", "B-6", "B-8",
+                    "C-3", "C-4", "C-6", "C-8"):
+            assert key in EXPERIMENTS, key
+
+    def test_multicloud_and_hybrid_present(self):
+        for key in ("D-1", "D-2", "D-3", "E-A-8", "E-B-4", "E-C-1",
+                    "F-A-2", "F-B-8", "F-C-4", "A10-8"):
+            assert key in EXPERIMENTS, key
+
+    def test_geo_totals_match_table2(self):
+        assert get_spec("A-8").total_gpus == 8
+        assert get_spec("B-6").total_gpus == 6
+        assert get_spec("C-4").total_gpus == 4
+        assert get_spec("C-8").total_gpus == 8
+
+    def test_b_experiments_split_evenly(self):
+        spec = get_spec("B-8")
+        counts = {location: count for location, count, __ in spec.groups}
+        assert counts == {"gc:us": 4, "gc:eu": 4}
+
+    def test_c4_has_one_vm_per_continent(self):
+        spec = get_spec("C-4")
+        assert len(spec.groups) == 4
+        assert all(count == 1 for __, count, __ in spec.groups)
+
+    def test_hybrid_specs_have_onprem_plus_cloud(self):
+        spec = get_spec("E-C-8")
+        locations = {location for location, __, __ in spec.groups}
+        assert "onprem:eu" in locations
+        assert "lambda:us-west" in locations
+        assert spec.total_gpus == 9  # RTX8000 + 8 A10s
+
+    def test_f_setting_uses_dgx2(self):
+        spec = get_spec("F-A-1")
+        gpus = {gpu for __, __, gpu in spec.groups}
+        assert "dgx2" in gpus
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("Z-99")
+
+    def test_peers_and_topology_consistent(self):
+        spec = get_spec("C-8")
+        peers = spec.peers()
+        topology = spec.topology()
+        assert len(peers) == 8
+        for peer in peers:
+            assert peer.site in topology
+
+
+class TestBuildRunConfig:
+    def test_defaults(self):
+        config = build_run_config("A-2", "conv")
+        assert config.model == "conv"
+        assert config.target_batch_size == 32768
+        assert len(config.peers) == 2
+
+    def test_overrides_pass_through(self):
+        config = build_run_config("A-2", "conv", epochs=7, seed=9)
+        assert config.epochs == 7
+        assert config.seed == 9
+
+
+class TestRunExperiment:
+    def test_result_summary_fields(self):
+        result = run_experiment("A-2", "conv", epochs=2,
+                                account_data_loading=False)
+        assert result.num_gpus == 2
+        assert result.throughput_sps > 0
+        assert result.granularity > 0
+        assert result.hourly_cost_usd > 0
+        assert result.usd_per_million_samples > 0
+        assert result.baseline_sps == 80.0
+        assert result.speedup == pytest.approx(
+            result.throughput_sps / 80.0
+        )
+        assert result.per_gpu_contribution == pytest.approx(
+            result.speedup / 2
+        )
+
+    def test_row_is_flat(self):
+        result = run_experiment("A-2", "conv", epochs=2,
+                                account_data_loading=False)
+        row = result.row()
+        assert row["experiment"] == "A-2"
+        assert isinstance(row["sps"], float)
+
+
+class TestCentralizedBaselines:
+    def test_known_baselines(self):
+        dgx = centralized_baseline("DGX-2", "conv")
+        assert dgx.throughput_sps == 413.0
+        assert dgx.hourly_cost_usd == 6.30
+        assert dgx.usd_per_million_samples == pytest.approx(4.24, rel=0.01)
+
+    def test_lambda_a10(self):
+        a10 = centralized_baseline("1xA10", "conv")
+        assert a10.throughput_sps == 185.0
+        assert a10.usd_per_million_samples == pytest.approx(0.90, rel=0.01)
+
+    def test_nlp_oom_on_4xt4_raises(self):
+        from repro.hardware import UnsupportedConfiguration
+
+        with pytest.raises(UnsupportedConfiguration):
+            centralized_baseline("4xT4-DDP", "rxlm")
+
+    def test_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            centralized_baseline("TPU", "conv")
+
+
+def test_uneven_transatlantic_specs():
+    """Section 4(B)'s uneven-distribution variants exist and balance."""
+    for key, us, eu in (("B-4u3", 3, 1), ("B-4u1", 1, 3),
+                        ("B-8u6", 6, 2), ("B-8u7", 7, 1)):
+        spec = get_spec(key)
+        counts = {loc: n for loc, n, __ in spec.groups}
+        assert counts == {"gc:us": us, "gc:eu": eu}, key
+        assert spec.total_gpus == us + eu

@@ -1,0 +1,108 @@
+"""Tests for the figure/table regeneration layer and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import Report, generate, render, report_keys
+
+
+def test_every_paper_artifact_has_a_report():
+    keys = set(report_keys())
+    expected = {
+        "table1", "table2", "table3", "table4", "table5", "table6",
+        "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
+        "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "fig17", "sec7-tcp", "sec7-spot",
+    }
+    assert expected <= keys
+
+
+def test_generate_unknown_key():
+    with pytest.raises(KeyError):
+        generate("fig99")
+
+
+def test_table1_static_content():
+    report = generate("table1")
+    assert report.rows[0]["GC"] == 0.180
+    assert len(report.rows) == 9
+
+
+def test_table2_lists_all_geo_experiments():
+    report = generate("table2")
+    assert len(report.rows) == 14
+    assert report.rows[0]["experiment"] == "A-1"
+
+
+def test_table3_matrix_rows():
+    report = generate("table3")
+    # 4 locations -> 16 directed pairs.
+    assert len(report.rows) == 16
+    local = next(r for r in report.rows
+                 if r["from"] == "gc:us" and r["to"] == "gc:us")
+    assert local["gbps"] == pytest.approx(6.91, rel=0.05)
+
+
+def test_sec7_tcp_shape():
+    report = generate("sec7-tcp")
+    eu80 = next(r for r in report.rows
+                if r["destination"] == "EU" and r["streams"] == 80)
+    us80 = next(r for r in report.rows
+                if r["destination"] == "US" and r["streams"] == 80)
+    assert eu80["gbps"] == pytest.approx(6.0, rel=0.05)
+    assert us80["gbps"] == pytest.approx(4.0, rel=0.05)
+
+
+def test_render_produces_ascii_table():
+    report = generate("table1")
+    text = render(report)
+    assert "table1" in text
+    assert "GC" in text
+    assert "0.18" in text
+
+
+def test_render_empty_report():
+    text = render(Report("x", "empty", rows=[], notes=["nothing"]))
+    assert "empty" in text
+    assert "note: nothing" in text
+
+
+def test_fig02_penalty_report():
+    report = generate("fig02", epochs=2)
+    assert len(report.rows) == 8
+    by_model = {row["model"]: row for row in report.rows}
+    # CONV has the worst local penalty, RN152 the best (Figure 2).
+    assert by_model["ConvNextLarge"]["local/baseline"] == pytest.approx(
+        0.48, abs=0.03
+    )
+    assert by_model["ResNet152"]["local/baseline"] == pytest.approx(
+        0.78, abs=0.03
+    )
+    for row in report.rows:
+        assert 0.75 <= row["global/local"] <= 1.0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out
+        assert "sec7-spot" in out
+
+    def test_run_report(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "T4 Spot" in out
+
+    def test_advise(self, capsys):
+        assert main(["advise", "conv", "gc:us=4"]) == 0
+        out = capsys.readouterr().out
+        assert "granularity" in out
+        assert "predicted throughput" in out
+
+    def test_advise_geo_nlp_warns(self, capsys):
+        assert main([
+            "advise", "rxlm", "gc:us=2", "gc:eu=2", "gc:asia=2", "gc:aus=2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scalable             : no" in out

@@ -1,0 +1,103 @@
+"""Tests for the GPU catalog and throughput calibration."""
+
+import pytest
+
+from repro.hardware import (
+    GPUS,
+    UnsupportedConfiguration,
+    baseline_sps,
+    get_gpu,
+    local_sps,
+    supports,
+)
+from repro.models import get_model
+
+
+def test_gpu_catalog_contains_paper_hardware():
+    assert {"t4", "a10", "rtx8000", "v100", "a100", "dgx2", "4xt4"} <= set(GPUS)
+
+
+def test_get_gpu_unknown():
+    with pytest.raises(KeyError):
+        get_gpu("h100")
+
+
+def test_dgx2_is_an_eight_gpu_node():
+    assert get_gpu("dgx2").device_count == 8
+    assert get_gpu("4xt4").device_count == 4
+
+
+class TestCalibrationAnchors:
+    """Every throughput number quoted in the paper must be exact."""
+
+    def test_convnext_anchors(self):
+        assert baseline_sps("t4", "conv") == 80.0
+        assert baseline_sps("a10", "conv") == 185.0
+        assert baseline_sps("rtx8000", "conv") == 194.8
+        assert baseline_sps("dgx2", "conv") == 413.0
+        assert baseline_sps("4xt4", "conv") == 207.0
+
+    def test_rxlm_anchors(self):
+        assert baseline_sps("t4", "rxlm") == 209.0
+        assert baseline_sps("rtx8000", "rxlm") == 431.8
+        assert baseline_sps("dgx2", "rxlm") == 1811.0
+
+    def test_whisper_anchors(self):
+        assert baseline_sps("a100", "whisper-small") == 46.0
+        assert baseline_sps("4xt4", "whisper-small") == 24.0
+        assert baseline_sps("t4", "whisper-small") == pytest.approx(12.7)
+
+
+class TestCalibrationShape:
+    def test_a10_faster_than_t4_everywhere(self):
+        for key in ("rn18", "rn50", "rn152", "wrn101", "conv",
+                    "rbase", "rlrg", "rxlm"):
+            assert baseline_sps("a10", key) > baseline_sps("t4", key)
+
+    def test_wrn101_faster_than_rn152_despite_more_parameters(self):
+        """Figure 4: runtime *decreases* from RN152 to WRN101."""
+        assert baseline_sps("a10", "wrn101") > baseline_sps("a10", "rn152")
+        assert (get_model("wrn101").parameters
+                > get_model("rn152").parameters)
+
+    def test_rxlm_faster_than_rlrg_despite_more_parameters(self):
+        """Figure 4: the bigger vocabulary is an embedding lookup."""
+        assert baseline_sps("a10", "rxlm") > baseline_sps("a10", "rlrg")
+        assert get_model("rxlm").parameters > get_model("rlrg").parameters
+
+    def test_cv_throughput_decreases_with_model_size_otherwise(self):
+        assert (baseline_sps("t4", "rn18") > baseline_sps("t4", "rn50")
+                > baseline_sps("t4", "rn152"))
+
+
+class TestUnsupported:
+    def test_nlp_oom_on_4xt4(self):
+        """Section 7: the NLP experiments ran OOM on the 4xT4 node."""
+        for key in ("rbase", "rlrg", "rxlm"):
+            assert not supports("4xt4", key)
+            with pytest.raises(UnsupportedConfiguration):
+                baseline_sps("4xt4", key)
+
+    def test_everything_else_supported(self):
+        assert supports("t4", "rxlm")
+        assert supports("dgx2", "rxlm")
+        assert supports("4xt4", "conv")
+
+
+def test_local_sps_applies_hivemind_penalty():
+    conv = get_model("conv")
+    assert local_sps("t4", "conv") == pytest.approx(80.0 * conv.local_penalty)
+    # At worst 48% of baseline (Figure 2).
+    assert local_sps("t4", "conv") / baseline_sps("t4", "conv") == pytest.approx(0.48)
+
+
+def test_fallback_estimate_for_uncalibrated_pair():
+    # v100 (single) has no calibrated entries: the FLOPs fallback kicks in.
+    sps = baseline_sps("v100", "rn50")
+    assert sps > 0
+    # It should land within an order of magnitude of the T4 figure.
+    assert 0.5 * baseline_sps("t4", "rn50") < sps < 10 * baseline_sps("t4", "rn50")
+
+
+def test_accepts_spec_objects_as_well_as_keys():
+    assert baseline_sps(get_gpu("t4"), get_model("conv")) == 80.0

@@ -1,0 +1,95 @@
+"""Tests for gradient compression codecs, incl. property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hivemind import compress, compressed_nbytes, decompress
+
+
+finite_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 64),
+    elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False,
+                       width=32),
+)
+
+
+class TestRoundtrips:
+    def test_fp32_roundtrip_close(self):
+        values = np.array([1.0, -2.5, 3.14159, 1e-3])
+        out = decompress(compress(values, "fp32"), "fp32", 4)
+        np.testing.assert_allclose(out, values, rtol=1e-6)
+
+    def test_fp16_roundtrip_halves_precision(self):
+        values = np.array([1.0, -2.5, 0.1])
+        out = decompress(compress(values, "fp16"), "fp16", 3)
+        np.testing.assert_allclose(out, values, rtol=1e-3)
+
+    def test_int8_roundtrip_quantization_error_bounded(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, 1, size=100)
+        out = decompress(compress(values, "int8"), "int8", 100)
+        span = values.max() - values.min()
+        assert np.max(np.abs(out - values)) <= span / 255 + 1e-12
+
+    def test_int8_constant_array(self):
+        values = np.full(10, 3.5)
+        out = decompress(compress(values, "int8"), "int8", 10)
+        np.testing.assert_allclose(out, values)
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError):
+            compress(np.zeros(2), "fp8")
+        with pytest.raises(ValueError):
+            decompress(b"", "fp8", 0)
+        with pytest.raises(ValueError):
+            compressed_nbytes(10, "fp8")
+
+
+class TestWireSizes:
+    def test_fp16_is_two_bytes_per_value(self):
+        assert compressed_nbytes(1000, "fp16") == 2000
+        assert len(compress(np.zeros(1000), "fp16")) == 2000
+
+    def test_fp32_is_four_bytes_per_value(self):
+        assert compressed_nbytes(10, "fp32") == 40
+
+    def test_int8_is_one_byte_plus_header(self):
+        assert compressed_nbytes(1000, "int8") == 1016
+        assert len(compress(np.zeros(1000), "int8")) == 1016
+
+    def test_model_gradient_payloads(self):
+        """FP16 compression halves the RoBERTaXLM payload vs FP32."""
+        from repro.models import get_model
+
+        rxlm = get_model("rxlm")
+        fp16 = compressed_nbytes(rxlm.parameters, "fp16")
+        fp32 = compressed_nbytes(rxlm.parameters, "fp32")
+        assert fp16 == pytest.approx(fp32 / 2)
+        assert fp16 == pytest.approx(1.12e9, rel=0.01)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=finite_arrays)
+def test_property_fp16_roundtrip_error_bounded(values):
+    out = decompress(compress(values, "fp16"), "fp16", values.size)
+    scale = np.maximum(np.abs(values), 1e-2)
+    assert np.all(np.abs(out - values) <= scale * 1e-3 + 1e-4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=finite_arrays)
+def test_property_int8_error_within_one_quantization_step(values):
+    out = decompress(compress(values, "int8"), "int8", values.size)
+    span = float(values.max() - values.min())
+    step = span / 255 if span > 0 else 1.0
+    assert np.all(np.abs(out - values) <= step / 2 + 1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=finite_arrays, codec=st.sampled_from(["fp32", "fp16", "int8"]))
+def test_property_wire_size_matches_declaration(values, codec):
+    assert len(compress(values, codec)) == compressed_nbytes(values.size, codec)

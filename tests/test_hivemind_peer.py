@@ -1,0 +1,158 @@
+"""Tests for the decentralized peer engine and its cross-validation
+against the coordinator loop."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import local_sps
+from repro.hivemind import HivemindRunConfig, PeerSpec, run_hivemind
+from repro.hivemind.averager import MoshpitAverager
+from repro.hivemind.matchmaking import form_groups
+from repro.hivemind.peer import (
+    AveragingRendezvous,
+    DecentralizedPeer,
+    ProgressBoard,
+    run_decentralized_epochs,
+)
+from repro.models import get_model
+from repro.network import Fabric, build_topology
+from repro.simulation import Environment
+
+
+def build_world(model_key="conv", counts=None, gpu="t4", tbs=32768):
+    counts = counts or {"gc:us": 4}
+    topology = build_topology(counts)
+    env = Environment()
+    fabric = Fabric(env, topology)
+    sites = list(topology.sites)
+    model = get_model(model_key)
+    plan = form_groups(topology, sites)
+    from repro.hardware import get_gpu
+
+    averager = MoshpitAverager(
+        env, fabric, plan, parameter_count=model.parameters,
+        stream_caps_bps={s: get_gpu(gpu).avg_stream_cap_bps for s in sites},
+    )
+    board = ProgressBoard(env, tbs)
+    rate = local_sps(gpu, model)
+    peers = [
+        DecentralizedPeer(env, site, rate, board,
+                          microbatch=max(tbs // (len(sites) * 16), 1))
+        for site in sites
+    ]
+    return env, averager, peers, board
+
+
+class TestProgressBoard:
+    def test_reached_fires_at_target(self):
+        env = Environment()
+        board = ProgressBoard(env, target_batch_size=100)
+        board.report("a", 60)
+        assert not board.reached.triggered
+        board.report("b", 40)
+        assert board.reached.triggered
+
+    def test_reset_clears_state(self):
+        env = Environment()
+        board = ProgressBoard(env, 10)
+        board.report("a", 10)
+        board.reset()
+        assert board.total == 0
+        assert not board.reached.triggered
+
+
+class TestRendezvous:
+    def test_round_runs_when_all_deposit(self):
+        env, averager, peers, board = build_world(counts={"gc:us": 2})
+        from repro.hivemind.averager import Contribution
+
+        rendezvous = AveragingRendezvous(env, averager, expected=2,
+                                         matchmaking_s=5.0)
+        rendezvous.deposit(Contribution("gc:us/0", 100))
+        event = rendezvous.deposit(Contribution("gc:us/1", 100))
+        result = env.run(event)
+        assert result.total_samples == 200
+        assert env.now > 5.0  # matchmaking floor paid
+
+    def test_close_early_runs_with_partial_deposits(self):
+        env, averager, peers, board = build_world(counts={"gc:us": 2})
+        from repro.hivemind.averager import Contribution
+
+        rendezvous = AveragingRendezvous(env, averager, expected=2,
+                                         matchmaking_s=0.0)
+        event = rendezvous.deposit(Contribution("gc:us/0", 100))
+        rendezvous.close_early()
+        result = env.run(event)
+        assert result.total_samples == 100
+
+
+class TestDecentralizedEngine:
+    def test_epochs_complete_with_full_tbs(self):
+        env, averager, peers, board = build_world()
+        done = env.process(run_decentralized_epochs(
+            env, averager, peers, epochs=3, rng=np.random.default_rng(0)
+        ))
+        wall_times, samples = env.run(done)
+        assert len(wall_times) == 3
+        # Quantized accumulation overshoots the TBS slightly, never
+        # undershoots.
+        assert all(s >= 32768 for s in samples)
+        assert all(t > 0 for t in wall_times)
+
+    def test_all_peers_join_every_round(self):
+        env, averager, peers, board = build_world()
+        done = env.process(run_decentralized_epochs(
+            env, averager, peers, epochs=2, rng=np.random.default_rng(0)
+        ))
+        env.run(done)
+        assert all(peer.rounds_joined == 2 for peer in peers)
+
+    @pytest.mark.parametrize("counts,model", [
+        ({"gc:us": 4}, "conv"),
+        ({"gc:us": 8}, "rxlm"),
+        ({"gc:us": 2, "gc:eu": 2}, "conv"),
+    ])
+    def test_agrees_with_coordinator_engine(self, counts, model):
+        """The decentralized engine and the coordinator loop must
+        produce the same steady-state throughput (within ~10%)."""
+        env, averager, peers, board = build_world(model, counts)
+        done = env.process(run_decentralized_epochs(
+            env, averager, peers, epochs=3, rng=np.random.default_rng(0)
+        ))
+        wall_times, samples = env.run(done)
+        decentralized_sps = sum(samples) / sum(wall_times)
+
+        topology = build_topology(counts)
+        config = HivemindRunConfig(
+            model=model,
+            peers=[PeerSpec(f"{loc}/{i}", "t4")
+                   for loc, n in counts.items() for i in range(n)],
+            topology=topology,
+            epochs=3,
+            monitor_interval_s=None,
+            account_data_loading=False,
+        )
+        coordinator_sps = run_hivemind(config).throughput_sps
+        assert decentralized_sps == pytest.approx(coordinator_sps, rel=0.10)
+
+    def test_heterogeneous_rates_share_proportionally(self):
+        counts = {"gc:us": 2}
+        topology = build_topology(counts)
+        env = Environment()
+        fabric = Fabric(env, topology)
+        model = get_model("conv")
+        plan = form_groups(topology, list(topology.sites))
+        averager = MoshpitAverager(env, fabric, plan, model.parameters,
+                                   stream_caps_bps={})
+        board = ProgressBoard(env, 8192)
+        fast = DecentralizedPeer(env, "gc:us/0", 200.0, board, microbatch=64)
+        slow = DecentralizedPeer(env, "gc:us/1", 50.0, board, microbatch=64)
+        done = env.process(run_decentralized_epochs(
+            env, averager, [fast, slow], epochs=2,
+            rng=np.random.default_rng(0)
+        ))
+        env.run(done)
+        # The fast peer contributes ~4x the samples of the slow one.
+        assert fast.samples_contributed == pytest.approx(
+            4 * slow.samples_contributed, rel=0.15
+        )

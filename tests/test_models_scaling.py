@@ -1,0 +1,52 @@
+"""Tests for the synthetic scaling family (square-cube law tooling)."""
+
+import pytest
+
+from repro.core import predict
+from repro.models import ModelSpec, square_cube_family, synthetic_transformer
+from repro.network import build_topology
+
+
+class TestSyntheticTransformer:
+    def test_linear_parameters_quadratic_flops(self):
+        small = synthetic_transformer(1.0)
+        large = synthetic_transformer(4.0)
+        assert large.parameters == 4 * small.parameters
+        assert large.train_flops_per_sample == pytest.approx(
+            16 * small.train_flops_per_sample
+        )
+
+    def test_is_a_regular_model_spec(self):
+        spec = synthetic_transformer(2.0)
+        assert isinstance(spec, ModelSpec)
+        assert spec.gradient_bytes("fp16") == 2 * spec.parameters
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            synthetic_transformer(0.0)
+
+    def test_family_keys_unique(self):
+        family = square_cube_family()
+        assert len({spec.key for spec in family}) == len(family)
+
+
+class TestSquareCubeLaw:
+    def test_granularity_grows_with_scale(self):
+        topology = build_topology({"gc:us": 8})
+        peers = [(f"gc:us/{i}", "t4") for i in range(8)]
+        granularities = [
+            predict(spec, peers, topology).granularity
+            for spec in square_cube_family(scales=(1.0, 2.0, 4.0))
+        ]
+        assert granularities == sorted(granularities)
+        # Asymptotically granularity doubles per doubling of scale
+        # (calc x4, comm x2).
+        assert granularities[2] / granularities[1] == pytest.approx(
+            2.0, rel=0.5
+        )
+
+    def test_predict_accepts_spec_objects(self):
+        topology = build_topology({"gc:us": 2})
+        peers = [("gc:us/0", "t4"), ("gc:us/1", "t4")]
+        prediction = predict(synthetic_transformer(1.0), peers, topology)
+        assert prediction.throughput_sps > 0

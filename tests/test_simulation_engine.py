@@ -1,0 +1,309 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simulation import (
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(5.0)
+        return env.now
+
+    result = env.run(env.process(proc()))
+    assert result == 5.0
+    assert env.now == 5.0
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc():
+        value = yield env.timeout(1.0, value="hello")
+        return value
+
+    assert env.run(env.process(proc())) == "hello"
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_events_fire_in_fifo_order_at_same_time():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(proc(tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(2.0)
+        return 42
+
+    def parent():
+        value = yield env.process(child())
+        return value + 1
+
+    assert env.run(env.process(parent())) == 43
+
+
+def test_nested_processes_compose_time():
+    env = Environment()
+
+    def leaf(duration):
+        yield env.timeout(duration)
+
+    def root():
+        yield env.process(leaf(1.0))
+        yield env.process(leaf(2.0))
+        return env.now
+
+    assert env.run(env.process(root())) == 3.0
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener():
+        yield env.timeout(3.0)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert log == [(3.0, "open")]
+
+
+def test_event_failure_propagates_into_process():
+    env = Environment()
+    gate = env.event()
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as error:
+            return f"caught {error}"
+
+    def failer():
+        yield env.timeout(1.0)
+        gate.fail(ValueError("boom"))
+
+    proc = env.process(waiter())
+    env.process(failer())
+    assert env.run(proc) == "caught boom"
+
+
+def test_unhandled_process_failure_raises_from_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise RuntimeError("exploded")
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="exploded"):
+        env.run()
+
+
+def test_waiting_on_failed_process_reraises():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise RuntimeError("inner")
+
+    def parent():
+        try:
+            yield env.process(bad())
+        except RuntimeError:
+            return "handled"
+
+    assert env.run(env.process(parent())) == "handled"
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    causes = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            causes.append((env.now, interrupt.cause))
+
+    def interrupter(target):
+        yield env.timeout(4.0)
+        target.interrupt("preempted")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert causes == [(4.0, "preempted")]
+
+
+def test_interrupt_dead_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+
+    def sleeper():
+        try:
+            yield env.timeout(10.0)
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)
+        return env.now
+
+    def interrupter(target):
+        yield env.timeout(2.0)
+        target.interrupt()
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    assert env.run(target) == 3.0
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(5.0, value="b")
+        values = yield env.all_of([t1, t2])
+        return env.now, sorted(values.values())
+
+    now, values = env.run(env.process(proc()))
+    assert now == 5.0
+    assert values == ["a", "b"]
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+
+    def proc():
+        fast = env.timeout(1.0, value="fast")
+        slow = env.timeout(9.0, value="slow")
+        values = yield env.any_of([fast, slow])
+        return env.now, values
+
+    now, values = env.run(env.process(proc()))
+    assert now == 1.0
+    assert values == {0: "fast"}
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+    ticks = []
+
+    def ticker():
+        while True:
+            yield env.timeout(1.0)
+            ticks.append(env.now)
+
+    env.process(ticker())
+    env.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.run(until=-1.0)
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.process(iter([]))  # type: ignore[arg-type]
+
+
+def test_run_until_untriggered_event_exhausts_queue():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(SimulationError):
+        env.run(never)
+
+
+def test_yield_non_event_is_an_error():
+    env = Environment()
+
+    def bad():
+        yield 42  # type: ignore[misc]
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(7.0)
+    assert env.peek() == 0.0 or env.peek() == 7.0  # timeout queued at +7
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError):
+        __ = event.value
+
+
+def test_succeed_twice_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_yielding_already_processed_event_resumes():
+    env = Environment()
+    done = env.event()
+    done.succeed("ready")
+
+    def proc():
+        # The event fires before this process gets to wait on it.
+        yield env.timeout(2.0)
+        value = yield done
+        return value
+
+    assert env.run(env.process(proc())) == "ready"

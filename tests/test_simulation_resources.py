@@ -1,0 +1,197 @@
+"""Unit tests for Resource, Container and Store primitives."""
+
+import pytest
+
+from repro.simulation import Container, Environment, Resource, SimulationError, Store
+
+
+def test_resource_serializes_access():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    log = []
+
+    def user(tag, hold):
+        with resource.request() as req:
+            yield req
+            log.append((env.now, tag, "acquired"))
+            yield env.timeout(hold)
+        log.append((env.now, tag, "released"))
+
+    env.process(user("a", 2.0))
+    env.process(user("b", 1.0))
+    env.run()
+    assert log == [
+        (0.0, "a", "acquired"),
+        (2.0, "a", "released"),
+        (2.0, "b", "acquired"),
+        (3.0, "b", "released"),
+    ]
+
+
+def test_resource_capacity_two_runs_in_parallel():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    finished = []
+
+    def user(tag):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(1.0)
+        finished.append((env.now, tag))
+
+    for tag in ("a", "b", "c"):
+        env.process(user(tag))
+    env.run()
+    assert finished == [(1.0, "a"), (1.0, "b"), (2.0, "c")]
+
+
+def test_resource_count_tracks_users():
+    env = Environment()
+    resource = Resource(env, capacity=3)
+
+    def holder():
+        with resource.request() as req:
+            yield req
+            yield env.timeout(5.0)
+
+    env.process(holder())
+    env.process(holder())
+    env.run(until=1.0)
+    assert resource.count == 2
+    env.run()
+    assert resource.count == 0
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_release_unacquired_request_is_safe():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+
+    def hog():
+        with resource.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def impatient():
+        request = resource.request()
+        result = yield env.any_of([request, env.timeout(1.0)])
+        if request not in result.values():
+            resource.release(request)  # cancel the queued claim
+            return "gave up"
+        return "got it"
+
+    env.process(hog())
+    proc = env.process(impatient())
+    assert env.run(proc) == "gave up"
+    assert len(resource.queue) == 0
+
+
+def test_container_put_get_levels():
+    env = Environment()
+    tank = Container(env, capacity=100.0, init=10.0)
+    results = []
+
+    def producer():
+        yield env.timeout(1.0)
+        yield tank.put(50.0)
+        results.append(("put", env.now, tank.level))
+
+    def consumer():
+        yield tank.get(40.0)  # must wait for the producer
+        results.append(("got", env.now, tank.level))
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert ("got", 1.0, 20.0) in results
+
+
+def test_container_init_bounds():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Container(env, capacity=5.0, init=10.0)
+
+
+def test_container_rejects_negative_amounts():
+    env = Environment()
+    tank = Container(env)
+    with pytest.raises(SimulationError):
+        tank.put(-1.0)
+    with pytest.raises(SimulationError):
+        tank.get(-1.0)
+
+
+def test_store_fifo_ordering():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer():
+        for item in ("x", "y", "z"):
+            yield store.put(item)
+            yield env.timeout(1.0)
+
+    def consumer():
+        for __ in range(3):
+            item = yield store.get()
+            received.append((env.now, item))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert [item for __, item in received] == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def consumer():
+        item = yield store.get()
+        return env.now, item
+
+    def producer():
+        yield env.timeout(4.0)
+        yield store.put("late")
+
+    proc = env.process(consumer())
+    env.process(producer())
+    assert env.run(proc) == (4.0, "late")
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put(1)
+        log.append(("put1", env.now))
+        yield store.put(2)
+        log.append(("put2", env.now))
+
+    def consumer():
+        yield env.timeout(5.0)
+        item = yield store.get()
+        log.append(("got", env.now, item))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert ("put1", 0.0) in log
+    assert ("put2", 5.0) in log
+
+
+def test_store_len_and_peek():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+    env.run()
+    assert len(store) == 2
+    assert store.peek() == "a"

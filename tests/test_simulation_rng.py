@@ -1,0 +1,46 @@
+"""Tests for seeded random-number streams."""
+
+import numpy as np
+
+from repro.simulation import RandomStreams
+
+
+def test_same_seed_same_name_same_sequence():
+    a = RandomStreams(seed=42).stream("interruptions")
+    b = RandomStreams(seed=42).stream("interruptions")
+    np.testing.assert_array_equal(a.random(10), b.random(10))
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(seed=42)
+    a = streams.stream("interruptions").random(100)
+    b = streams.stream("matchmaking").random(100)
+    assert not np.allclose(a, b)
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).stream("x").random(10)
+    b = RandomStreams(seed=2).stream("x").random(10)
+    assert not np.allclose(a, b)
+
+
+def test_creation_order_does_not_matter():
+    """The same (seed, name) pair yields the same sequence regardless
+    of which other streams were created first."""
+    first = RandomStreams(seed=7)
+    first.stream("aaa")
+    late = first.stream("zzz").random(5)
+
+    second = RandomStreams(seed=7)
+    early = second.stream("zzz").random(5)
+    np.testing.assert_array_equal(late, early)
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(seed=0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_getitem_alias():
+    streams = RandomStreams(seed=0)
+    assert streams["x"] is streams.stream("x")
