@@ -1,0 +1,94 @@
+"""Telemetry overhead guardrails.
+
+Tracing a run records thousands of spans and metric updates; the
+guarantee the observability layer makes is that (a) a *traced* run
+stays within 15% wall-clock of an untraced one and (b) *disabled*
+telemetry is free — the null sink short-circuits before any attribute
+formatting, so instrumented hot paths cost one attribute lookup.
+"""
+
+import gc
+import time
+
+from repro.hivemind import HivemindRunConfig, PeerSpec, run_hivemind
+from repro.network import build_topology
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+
+def make_config(telemetry=None):
+    counts = {"gc:us": 2, "gc:eu": 2}
+    topology = build_topology(counts)
+    peers = [
+        PeerSpec(f"{location}/{i}", "t4")
+        for location, n in counts.items()
+        for i in range(n)
+    ]
+    return HivemindRunConfig(
+        model="conv", peers=peers, topology=topology,
+        target_batch_size=32768, epochs=4,
+        monitor_interval_s=50.0, account_data_loading=False,
+        telemetry=telemetry,
+    )
+
+
+def _paired_overhead(pairs=9, runs_per_side=3):
+    """Median overhead ratio over back-to-back (untraced, traced) pairs.
+
+    Each side of a pair times ``runs_per_side`` consecutive runs, so a
+    background-load burst is averaged across a longer window and hits
+    both sides of the pair roughly equally; the median over pairs then
+    discards the pairs where a burst still landed on only one side.
+    """
+    ratios = []
+    for __ in range(pairs):
+        start = time.perf_counter()
+        for __ in range(runs_per_side):
+            run_hivemind(make_config())
+        untraced = time.perf_counter() - start
+        start = time.perf_counter()
+        for __ in range(runs_per_side):
+            run_hivemind(make_config(telemetry=Telemetry()))
+        traced = time.perf_counter() - start
+        ratios.append((traced / untraced, untraced, traced))
+    ratios.sort()
+    ratio, untraced, traced = ratios[len(ratios) // 2]
+    return {"ratio": ratio, "untraced": untraced / runs_per_side,
+            "traced": traced / runs_per_side}
+
+
+def test_traced_run_within_15_percent(benchmark):
+    # Warm both code paths (imports, allocator pools, bytecode caches).
+    run_hivemind(make_config())
+    run_hivemind(make_config(telemetry=Telemetry()))
+    # Collect garbage then pause the collector (as ``timeit`` does):
+    # when this runs after a large suite, collections triggered by the
+    # traced side's extra allocations scan the whole accumulated heap
+    # and would measure the suite's residue, not the instrumentation.
+    gc.collect()
+    gc.disable()
+    try:
+        timings = benchmark.pedantic(_paired_overhead, rounds=1,
+                                     iterations=1)
+    finally:
+        gc.enable()
+    overhead = timings["ratio"] - 1.0
+    print()
+    print(f"untraced {timings['untraced'] * 1e3:.1f} ms, "
+          f"traced {timings['traced'] * 1e3:.1f} ms, "
+          f"overhead {overhead * +100:.1f}%")
+    assert timings["ratio"] <= 1.15, (
+        f"tracing overhead {overhead:.1%} exceeds the 15% budget"
+    )
+
+
+def test_disabled_telemetry_short_circuits():
+    # The null sink must hand back shared singletons without touching
+    # the keyword arguments — this is what keeps the instrumented hot
+    # paths (fabric transfers, DHT RPCs) free when tracing is off.
+    span = NULL_TELEMETRY.span("x", category="c", track="t", big=object())
+    assert span is NULL_TELEMETRY.span("y")
+    assert NULL_TELEMETRY.counter("a") is NULL_TELEMETRY.counter("b")
+
+    # An untraced run records nothing anywhere.
+    result = run_hivemind(make_config())
+    assert result.telemetry is None

@@ -17,6 +17,7 @@ import argparse
 import csv
 import io
 import json
+import os
 import sys
 
 from .core import evaluate_setup
@@ -57,12 +58,57 @@ def _format_report(report, fmt: str) -> str:
     raise ValueError(f"unknown format {fmt!r}")
 
 
+def _telemetry_sink(args: argparse.Namespace):
+    """A live Telemetry sink when any export flag was passed, else None."""
+    paths = [
+        path for flag in ("trace", "metrics", "jsonl")
+        if (path := getattr(args, flag, None))
+    ]
+    if not paths:
+        return None
+    _require_writable_dirs(paths)
+    from .telemetry import Telemetry
+
+    return Telemetry()
+
+
+def _require_writable_dirs(paths) -> None:
+    """Fail before the (possibly minutes-long) simulation, not after."""
+    for path in paths:
+        directory = os.path.dirname(path) or "."
+        if not os.path.isdir(directory):
+            raise SystemExit(
+                f"cannot write {path}: directory {directory!r} does not exist"
+            )
+
+
+def _export_telemetry(tel, args: argparse.Namespace) -> None:
+    from .telemetry import write_chrome_trace, write_jsonl, write_prometheus
+
+    if getattr(args, "trace", None):
+        write_chrome_trace(tel, args.trace)
+        print(f"wrote {args.trace}")
+    if getattr(args, "jsonl", None):
+        write_jsonl(tel, args.jsonl)
+        print(f"wrote {args.jsonl}")
+    if getattr(args, "metrics", None):
+        write_prometheus(tel, args.metrics)
+        print(f"wrote {args.metrics}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    import contextlib
+
+    tel = _telemetry_sink(args)
+    scope = (
+        contextlib.nullcontext() if tel is None else _use_telemetry_scope(tel)
+    )
     keys = report_keys() if args.report == "all" else [args.report]
     chunks = []
-    for key in keys:
-        report = generate(key, epochs=args.epochs)
-        chunks.append(_format_report(report, args.format))
+    with scope:
+        for key in keys:
+            report = generate(key, epochs=args.epochs)
+            chunks.append(_format_report(report, args.format))
     output = "\n\n".join(chunks)
     if args.output:
         with open(args.output, "w") as handle:
@@ -70,6 +116,68 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(output)
+    if tel is not None:
+        _export_telemetry(tel, args)
+    return 0
+
+
+def _use_telemetry_scope(tel):
+    from .telemetry import use_telemetry
+
+    return use_telemetry(tel)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one experiment or report end to end and summarize it."""
+    from .experiments import EXPERIMENTS, epoch_breakdown, run_experiment
+    from .experiments.figures import report_keys
+    from .telemetry import Telemetry, use_telemetry, validate_chrome_trace
+    from .telemetry.export import to_chrome_trace
+
+    key = args.report
+    _require_writable_dirs(
+        path for path in (args.output, args.jsonl, args.metrics) if path
+    )
+    tel = Telemetry()
+    with use_telemetry(tel):
+        if key in EXPERIMENTS:
+            result = run_experiment(key, args.model, epochs=args.epochs)
+            title = (f"experiment {key} ({args.model}, "
+                     f"{result.num_gpus} GPUs)")
+        else:
+            try:
+                report = generate(key, epochs=args.epochs)
+            except KeyError:
+                print(
+                    f"unknown key {key!r}: expected an experiment key "
+                    f"({', '.join(sorted(EXPERIMENTS))}) or a report id "
+                    f"({', '.join(report_keys())})",
+                    file=sys.stderr,
+                )
+                return 2
+            title = report.title
+    trace_path = args.output or f"{key}_trace.json"
+    problems = validate_chrome_trace(to_chrome_trace(tel))
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 1
+    args.trace = trace_path
+    _export_telemetry(tel, args)
+    spans = tel.tracer.spans
+    tracks = tel.tracer.tracks()
+    print(f"{title}: {len(spans)} spans on {len(tracks)} tracks, "
+          f"{len(tel.tracer.instants)} instant events")
+    by_category: dict[str, int] = {}
+    for span in spans:
+        by_category[span.category] = by_category.get(span.category, 0) + 1
+    for category in sorted(by_category):
+        print(f"  {category:<14} {by_category[category]} spans")
+    print()
+    print(epoch_breakdown(tel))
+    print()
+    print(f"open {trace_path} in https://ui.perfetto.dev or "
+          "chrome://tracing to inspect the timeline")
     return 0
 
 
@@ -164,7 +272,31 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--format", choices=("text", "csv", "json"),
                      default="text")
     run.add_argument("--output", help="write to a file instead of stdout")
+    run.add_argument("--trace",
+                     help="write a Chrome trace_event JSON timeline of "
+                          "the simulated run(s) to this path")
+    run.add_argument("--jsonl",
+                     help="write the raw span/instant event log as JSONL")
+    run.add_argument("--metrics",
+                     help="write final metric values in Prometheus text "
+                          "format to this path")
     run.set_defaults(func=_cmd_run)
+
+    trace = sub.add_parser(
+        "trace", help="trace one experiment and summarize its timeline"
+    )
+    trace.add_argument("report",
+                       help="experiment key (e.g. A-8) or report id "
+                            "(see 'repro list')")
+    trace.add_argument("--model", default="conv",
+                       help="model for experiment keys (default conv)")
+    trace.add_argument("--epochs", type=int, default=3)
+    trace.add_argument("--output",
+                       help="trace file path (default <report>_trace.json)")
+    trace.add_argument("--jsonl", help="also write the JSONL event log")
+    trace.add_argument("--metrics",
+                       help="also write the Prometheus metrics dump")
+    trace.set_defaults(func=_cmd_trace)
 
     validate = sub.add_parser(
         "validate", help="check every paper anchor against the simulation"

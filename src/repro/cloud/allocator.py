@@ -21,6 +21,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..simulation import Environment
+from ..telemetry import NULL_TELEMETRY
 from .instances import InstanceType
 from .spot import InterruptionModel
 
@@ -61,9 +62,19 @@ class SpotFleet:
         startup_s: float = 120.0,
         resync_s: float = 60.0,
         spot: bool = True,
+        telemetry=None,
     ):
         self.env = env
         self.rng = rng
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._preemption_counter = self.telemetry.counter(
+            "spot_preemptions_total", "Spot VM terminations, by site"
+        )
+        self._downtime_counter = self.telemetry.counter(
+            "spot_downtime_seconds_total",
+            "Slot-seconds lost to preemption and re-provisioning",
+        )
+        self._down_spans: dict[int, object] = {}
         self.interruption_model = interruption_model
         self.startup_s = startup_s
         self.resync_s = resync_s
@@ -119,6 +130,23 @@ class SpotFleet:
         event = FleetEvent(time_s=self.env.now, slot_index=slot.index,
                            site=slot.site, up=up)
         self.events.append(event)
+        if self.telemetry.enabled:
+            if up:
+                span = self._down_spans.pop(slot.index, None)
+                if span is not None:
+                    self.telemetry.end_span(span)
+                    self._downtime_counter.inc(
+                        self.env.now - span.start_s, site=slot.site
+                    )
+            else:
+                self.telemetry.instant(
+                    "preemption", category="spot", track=slot.site,
+                    slot=slot.index,
+                )
+                self._down_spans[slot.index] = self.telemetry.begin_span(
+                    "down", category="spot", track=slot.site,
+                    slot=slot.index,
+                )
         for listener in self._listeners:
             listener(event)
 
@@ -142,4 +170,5 @@ class SpotFleet:
                 return
             yield self.env.timeout(lifetime)
             slot.interruptions += 1
+            self._preemption_counter.inc(site=slot.site)
             self._emit(slot, up=False)

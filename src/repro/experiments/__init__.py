@@ -3,7 +3,8 @@
 from .configs import EXPERIMENTS, ExperimentSpec, build_run_config, get_spec
 from .figures import REPORTS, Report, generate, render, report_keys
 from .replication import ReplicationSummary, replicate
-from .report import report_to_markdown, write_markdown_report
+from .report import (epoch_breakdown, report_to_markdown,
+                     write_markdown_report)
 from .runner import ExperimentResult, centralized_baseline, run_experiment
 from .sweeps import SweepGrid, SweepResult, run_sweep
 from .validation import (
@@ -21,6 +22,7 @@ __all__ = [
     "run_sweep",
     "ReplicationSummary",
     "replicate",
+    "epoch_breakdown",
     "report_to_markdown",
     "write_markdown_report",
     "Anchor",

@@ -14,7 +14,53 @@ from typing import Optional
 from .figures import REPORTS, Report
 from .validation import render_scorecard, run_validation
 
-__all__ = ["report_to_markdown", "write_markdown_report"]
+__all__ = ["epoch_breakdown", "report_to_markdown", "write_markdown_report"]
+
+#: Span categories that make up one hivemind epoch, in phase order.
+_PHASES = ("calc", "matchmaking", "transfer")
+
+
+def epoch_breakdown(telemetry) -> str:
+    """Per-epoch time-breakdown table rendered from real spans.
+
+    Accepts a :class:`repro.telemetry.Telemetry` sink (or a bare
+    tracer) and aggregates the retrospective per-peer ``calc`` /
+    ``matchmaking`` / ``transfer`` spans recorded by
+    :func:`repro.hivemind.run_hivemind` into one markdown table:
+    each row is an epoch, each phase column the union interval of that
+    phase across peers, plus the number of peer tracks that took part.
+    """
+    tracer = getattr(telemetry, "tracer", telemetry)
+    #: (run, epoch, category) -> [min start, max end] across peer tracks
+    windows: dict[tuple[int, int, str], list[float]] = {}
+    peers: dict[tuple[int, int], set[str]] = {}
+    for span in tracer.spans:
+        epoch = span.attrs.get("epoch")
+        if epoch is None or span.category not in _PHASES or not span.closed:
+            continue
+        window = windows.setdefault(
+            (span.run, epoch, span.category), [span.start_s, span.end_s]
+        )
+        window[0] = min(window[0], span.start_s)
+        window[1] = max(window[1], span.end_s)
+        peers.setdefault((span.run, epoch), set()).add(span.track)
+    if not windows:
+        return "*(no per-epoch spans recorded)*"
+    cells = sorted({(run, epoch) for run, epoch, __ in windows})
+    multi_run = len({run for run, __ in cells}) > 1
+    rows = []
+    for run, epoch in cells:
+        row = {"run": run} if multi_run else {}
+        row["epoch"] = epoch
+        for phase in _PHASES:
+            window = windows.get((run, epoch, phase))
+            row[f"{phase}_s"] = (
+                round(window[1] - window[0], 2) if window else None
+            )
+        row["peers"] = len(peers.get((run, epoch), ()))
+        rows.append(row)
+    return _table(Report(key="breakdown", title="Epoch breakdown",
+                         rows=rows, notes=[]))
 
 
 def _table(report: Report) -> str:

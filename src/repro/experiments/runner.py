@@ -44,6 +44,11 @@ class ExperimentResult:
     run: Optional[RunResult] = None
 
     @property
+    def telemetry(self) -> Optional[object]:
+        """Telemetry sink the underlying run recorded into, if any."""
+        return self.run.telemetry if self.run is not None else None
+
+    @property
     def speedup(self) -> Optional[float]:
         if self.baseline_sps is None or self.baseline_sps <= 0:
             return None
@@ -66,7 +71,8 @@ class ExperimentResult:
             "sps": round(self.throughput_sps, 1),
             "granularity": round(self.granularity, 2)
             if self.granularity != float("inf") else float("inf"),
-            "speedup": round(self.speedup, 2) if self.speedup else None,
+            "speedup": round(self.speedup, 2)
+            if self.speedup is not None else None,
             "usd_per_h": round(self.hourly_cost_usd, 3),
             "usd_per_1m": round(self.usd_per_million_samples, 2),
         }

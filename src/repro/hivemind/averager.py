@@ -34,6 +34,7 @@ import numpy as np
 
 from ..network import Fabric
 from ..simulation import Environment, Event
+from ..telemetry import NULL_TELEMETRY
 from .compression import compress, compressed_nbytes, decompress
 from .matchmaking import GroupPlan
 
@@ -80,10 +81,12 @@ class MoshpitAverager:
         parameter_count: int,
         codec: str = "fp16",
         stream_caps_bps: Optional[dict[str, float]] = None,
+        telemetry=None,
     ):
         self.env = env
         self.fabric = fabric
         self.plan = plan
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.parameter_count = parameter_count
         self.codec = codec
         self.payload_bytes = compressed_nbytes(parameter_count, codec)
@@ -132,34 +135,52 @@ class MoshpitAverager:
         else:
             hub = max(groups, key=len)
         stage_times: dict[str, float] = {}
+        tel = self.telemetry
 
-        # Stage 1: intra-group reduce-scatter.
-        stage_start = self.env.now
-        yield from self._intra_stage(groups)
-        stage_times["reduce_scatter"] = self.env.now - stage_start
+        with tel.span("averaging_round", category="transfer",
+                      track="averager", peers=len(present)):
+            # Stage 1: intra-group reduce-scatter.
+            stage_start = self.env.now
+            with tel.span("reduce_scatter", category="transfer",
+                          track="averager"):
+                yield from self._intra_stage(groups)
+            stage_times["reduce_scatter"] = self.env.now - stage_start
 
-        # Stage 2: hub exchange across groups. Gather and scatter are
-        # pipelined over the full-duplex links (chunks of the reduced
-        # gradient flow back while later chunks still flow in), so both
-        # directions run concurrently.
-        stage_start = self.env.now
-        if len(groups) > 1:
-            yield from self._hub_stage(groups, hub)
-        stage_times["hub_exchange"] = self.env.now - stage_start
+            # Stage 2: hub exchange across groups. Gather and scatter are
+            # pipelined over the full-duplex links (chunks of the reduced
+            # gradient flow back while later chunks still flow in), so both
+            # directions run concurrently.
+            stage_start = self.env.now
+            if len(groups) > 1:
+                with tel.span("hub_exchange", category="transfer",
+                              track="averager"):
+                    yield from self._hub_stage(groups, hub)
+            stage_times["hub_exchange"] = self.env.now - stage_start
 
-        # Stage 3: intra-group all-gather.
-        stage_start = self.env.now
-        yield from self._intra_stage(groups)
-        stage_times["all_gather"] = self.env.now - stage_start
+            # Stage 3: intra-group all-gather.
+            stage_start = self.env.now
+            with tel.span("all_gather", category="transfer",
+                          track="averager"):
+                yield from self._intra_stage(groups)
+            stage_times["all_gather"] = self.env.now - stage_start
 
         average = self._numeric_average(contributions)
         total = sum(c.sample_count for c in contributions)
+        wall = self.env.now - start
+        bytes_sent = self._round_bytes(groups, hub)
+        if tel.enabled:
+            tel.counter("averaging_rounds_total",
+                        "Moshpit averaging rounds completed").inc()
+            tel.histogram("averaging_round_seconds",
+                          "Wall time of each averaging round").observe(wall)
+            tel.counter("averaging_bytes_total",
+                        "Bytes shipped by the averager").inc(bytes_sent)
         return AveragingResult(
             average=average,
             total_samples=total,
-            wall_time_s=self.env.now - start,
+            wall_time_s=wall,
             stage_times_s=stage_times,
-            bytes_sent=self._round_bytes(groups, hub),
+            bytes_sent=bytes_sent,
         )
 
     def _intra_stage(self, groups: list[tuple[str, ...]]):

@@ -18,6 +18,7 @@ from typing import Any, Optional
 
 from ..network import Fabric
 from ..simulation import Environment
+from ..telemetry import NULL_TELEMETRY
 
 __all__ = ["DhtNetwork", "DhtNode", "node_id_for", "xor_distance"]
 
@@ -76,9 +77,22 @@ class RoutingTable:
 class DhtNetwork:
     """Transport + registry; RPCs travel through the fabric."""
 
-    def __init__(self, env: Environment, fabric: Fabric):
+    def __init__(self, env: Environment, fabric: Fabric, telemetry=None):
         self.env = env
         self.fabric = fabric
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._ops_counter = self.telemetry.counter(
+            "dht_ops_total", "DHT RPCs issued, by method"
+        )
+        self._timeout_counter = self.telemetry.counter(
+            "dht_timeouts_total", "DHT RPCs that hit a dead peer"
+        )
+        #: Bound span factory + per-method interned span names and
+        #: counter children: RPCs are the most frequent instrumented
+        #: operation, so skip per-call label/name construction.
+        self._span = (self.telemetry.tracer.span if self.telemetry.enabled
+                      else self.telemetry.span)
+        self._per_method: dict[str, tuple[str, object]] = {}
         self.nodes: dict[int, "DhtNode"] = {}
         self.rpc_count = 0
 
@@ -92,13 +106,25 @@ class DhtNetwork:
         """Round-trip RPC as a simulation process; returns the response
         or ``None`` when the destination is gone (dead-peer timeout)."""
         self.rpc_count += 1
+        cached = self._per_method.get(method)
+        if cached is None:
+            cached = self._per_method[method] = (
+                f"dht:{method}",
+                self._ops_counter.labels(method=method),
+            )
+        name, ops_child = cached
+        ops_child.inc()
         dst = self.nodes.get(dst_id)
         if dst is None or not dst.alive:
+            self._timeout_counter.inc(method=method)
             yield self.env.timeout(_RPC_TIMEOUT_S)
             return None
-        yield self.fabric.transfer(src.site, dst.site, _RPC_BYTES, tag="dht")
-        response = getattr(dst, f"handle_{method}")(src, *args)
-        yield self.fabric.transfer(dst.site, src.site, _RPC_BYTES, tag="dht")
+        with self._span(name, category="dht", track=src.site, dst=dst.site):
+            yield self.fabric.transfer(src.site, dst.site, _RPC_BYTES,
+                                       tag="dht")
+            response = getattr(dst, f"handle_{method}")(src, *args)
+            yield self.fabric.transfer(dst.site, src.site, _RPC_BYTES,
+                                       tag="dht")
         dst.routing.add(_Contact(src.node_id, src.site))
         return response
 

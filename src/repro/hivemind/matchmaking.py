@@ -85,6 +85,7 @@ def matchmaking_delay(
     rng: np.random.Generator,
     calc_time_s: float,
     min_time_s: float = MIN_MATCHMAKING_S,
+    telemetry=None,
 ) -> float:
     """Matchmaking time added to each averaging round.
 
@@ -98,6 +99,21 @@ def matchmaking_delay(
     if calc_time_s < 0:
         raise ValueError("calc_time_s must be >= 0")
     if calc_time_s >= min_time_s:
-        return min_time_s
-    instability = rng.uniform(0.0, min_time_s)
-    return min_time_s + instability
+        delay, instability = min_time_s, 0.0
+    else:
+        instability = rng.uniform(0.0, min_time_s)
+        delay = min_time_s + instability
+    if telemetry is not None and telemetry.enabled:
+        telemetry.counter(
+            "matchmaking_rounds_total", "Matchmaking rounds performed"
+        ).inc()
+        telemetry.histogram(
+            "matchmaking_seconds", "Matchmaking time per averaging round"
+        ).observe(delay)
+        if instability > 0:
+            telemetry.counter(
+                "averaging_stall_seconds_total",
+                "Extra averaging delay from unstable matchmaking (the "
+                "TBS-below-minimum instability of Section 3)",
+            ).inc(instability)
+    return delay

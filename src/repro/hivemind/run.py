@@ -25,6 +25,7 @@ from ..hardware import get_gpu, local_sps
 from ..models import ModelSpec, get_model
 from ..network import Fabric, Topology
 from ..simulation import Environment, RandomStreams
+from ..telemetry import resolve_telemetry
 from ..training import MLP, SGD, compute_gradient, make_classification_data
 from .averager import Contribution, MoshpitAverager
 from .dht import DhtNetwork, DhtNode
@@ -105,6 +106,11 @@ class HivemindRunConfig:
     #: When set, sample system metrics (egress, live peers, progress)
     #: every interval — the paper logs system metrics every second.
     metrics_interval_s: Optional[float] = None
+    #: Telemetry sink (:class:`repro.telemetry.Telemetry`). ``None``
+    #: falls back to the ambient sink installed by
+    #: :func:`repro.telemetry.use_telemetry`, else tracing is disabled
+    #: at zero cost.
+    telemetry: Optional[object] = None
 
     def __post_init__(self):
         if not self.peers:
@@ -162,6 +168,9 @@ class RunResult:
     state_syncs: int = 0
     losses: list[float] = field(default_factory=list)
     metrics: list[MetricSample] = field(default_factory=list)
+    #: The telemetry sink the run recorded into (``None`` when tracing
+    #: was disabled); carries the tracer and the metrics registry.
+    telemetry: Optional[object] = None
 
     @property
     def total_samples(self) -> int:
@@ -248,8 +257,10 @@ class _NumericState:
 def run_hivemind(config: HivemindRunConfig) -> RunResult:
     """Simulate a full Hivemind training run; see module docstring."""
     model = get_model(config.model)
-    env = Environment()
-    fabric = Fabric(env, config.topology)
+    tel = resolve_telemetry(config.telemetry)
+    tracing = tel.enabled
+    env = Environment(telemetry=tel if tracing else None)
+    fabric = Fabric(env, config.topology, telemetry=tel)
     streams = RandomStreams(config.seed)
 
     sites = [peer.site for peer in config.peers]
@@ -268,6 +279,7 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
         parameter_count=model.parameters,
         codec=config.codec,
         stream_caps_bps=caps,
+        telemetry=tel,
     )
 
     links: dict[str, StoreLink] = {}
@@ -293,6 +305,7 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
             interruption_model=config.interruption_model,
             startup_s=config.startup_s,
             resync_s=0.0,  # replaced by the explicit state transfer
+            telemetry=tel,
         )
 
         def resync(site: str):
@@ -301,10 +314,14 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
                 donor = min(
                     donors, key=lambda d: config.topology.rtt_s(d, site)
                 )
-                yield fabric.transfer(
-                    donor, site, model.gradient_bytes("fp16"), tag="sync"
-                )
+                with tel.span("state_sync", category="sync", track=site,
+                              donor=donor):
+                    yield fabric.transfer(
+                        donor, site, model.gradient_bytes("fp16"), tag="sync"
+                    )
                 state_syncs[0] += 1
+                tel.counter("state_syncs_total",
+                            "Model-state downloads after rejoin").inc()
             synced.add(site)
 
         def on_fleet_event(event):
@@ -328,14 +345,15 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
     )
 
     # -- DHT + monitor -----------------------------------------------------
-    dht_network = DhtNetwork(env, fabric)
+    dht_network = DhtNetwork(env, fabric, telemetry=tel)
     dht_nodes = {site: DhtNode(dht_network, site) for site in sites}
     coordinator_node = dht_nodes[sites[0]]
     monitor = None
     monitor_process = None
     if config.monitor_interval_s is not None:
         monitor = TrainingMonitor(
-            env, coordinator_node, interval_s=config.monitor_interval_s
+            env, coordinator_node, interval_s=config.monitor_interval_s,
+            telemetry=tel if tracing else None,
         )
 
     epoch_stats: list[EpochStats] = []
@@ -401,20 +419,42 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
                 links[site].consume(count)
         return contributed
 
+    def record_phase_spans(epoch: int, live: list[str], name: str,
+                           category: str, start_s: float,
+                           end_s: float) -> None:
+        """One retrospective span per live peer track (when tracing)."""
+        if not tracing or end_s <= start_s:
+            return
+        for site in live:
+            tel.tracer.add_span(name, category, site, start_s, end_s,
+                                epoch=epoch)
+
     def training():
         # Bootstrap the DHT before training starts.
-        bootstrap = dht_nodes[sites[0]]
-        for site in sites[1:]:
-            yield from dht_nodes[site].join(bootstrap)
+        with tel.span("dht_bootstrap", category="dht", track="epochs"):
+            bootstrap = dht_nodes[sites[0]]
+            for site in sites[1:]:
+                yield from dht_nodes[site].join(bootstrap)
         pending_round = None
         pending_sites: list[str] = []
+        pending_epoch = -1
+        pending_started = 0.0
+        epoch_seconds = tel.histogram(
+            "epoch_wall_seconds", "Wall time per hivemind epoch"
+        )
+        live_gauge = tel.gauge("live_peers", "Contributing peers per epoch")
+        samples_counter = tel.counter(
+            "samples_applied_total", "Samples applied across all epochs"
+        )
         for epoch in range(config.epochs):
             epoch_start = env.now
             contributed = yield from accumulate(config.target_batch_size)
             calc_s = env.now - epoch_start
 
+            matchmaking_start = env.now
             delay = matchmaking_delay(
-                matchmaking_rng, calc_s, config.min_matchmaking_s
+                matchmaking_rng, calc_s, config.min_matchmaking_s,
+                telemetry=tel,
             )
             yield env.timeout(delay)
 
@@ -434,21 +474,33 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
                 else:
                     contributions.append(Contribution(site, count))
 
+            record_phase_spans(epoch, live, "calc", "calc",
+                               epoch_start, matchmaking_start)
+            record_phase_spans(epoch, live, "matchmaking", "matchmaking",
+                               matchmaking_start, matchmaking_start + delay)
+
             if config.overlap_communication and pending_round is not None:
                 # Make sure the previous (overlapped) round has landed.
                 previous = yield pending_round
+                record_phase_spans(pending_epoch, pending_sites, "transfer",
+                                   "transfer", pending_started, env.now)
                 if numeric is not None and previous.average is not None:
                     numeric.apply(pending_sites, previous.average)
                 pending_round = None
 
+            round_start = env.now
             round_process = env.process(averager.run_round(contributions))
             if config.overlap_communication:
                 pending_round = round_process
                 pending_sites = live
+                pending_epoch = epoch
+                pending_started = round_start
                 transfer_s = 0.0  # accounted when the round lands
             else:
                 result = yield round_process
                 transfer_s = result.wall_time_s
+                record_phase_spans(epoch, live, "transfer", "transfer",
+                                   round_start, env.now)
                 if numeric is not None and result.average is not None:
                     numeric.apply(live, result.average)
 
@@ -467,9 +519,18 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
                     loss=losses[-1] if loss_values else None,
                 )
             )
+            if tracing:
+                tel.tracer.add_span("epoch", "epoch", "epochs",
+                                    epoch_start, env.now, epoch=epoch,
+                                    samples=samples, peers=len(live))
+            epoch_seconds.observe(env.now - epoch_start)
+            live_gauge.set(len(live))
+            samples_counter.inc(samples)
             env.process(publish_progress(epoch, len(live), samples))
         if config.overlap_communication and pending_round is not None:
             final = yield pending_round
+            record_phase_spans(pending_epoch, pending_sites, "transfer",
+                               "transfer", pending_started, env.now)
             if epoch_stats:
                 epoch_stats[-1].transfer_s = final.wall_time_s
             if numeric is not None and final.average is not None:
@@ -496,6 +557,9 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
             if stats.transfer_s == 0.0 and stats.index < len(epoch_stats) - 1:
                 stats.transfer_s = 0.0  # hidden behind the next epoch's calc
 
+    if tracing:
+        tel.sync_kernel_metrics()
+
     averaging_bytes = sum(
         nbytes
         for (src, dst), nbytes in fabric.meter.by_pair.items()
@@ -516,4 +580,5 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
         state_syncs=state_syncs[0],
         losses=losses,
         metrics=metric_samples,
+        telemetry=tel if tracing else None,
     )

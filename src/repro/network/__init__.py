@@ -5,6 +5,7 @@ from .profiler import ProfileResult, measure_bandwidth_bps, measure_rtt_s, profi
 from .profiles import LOCATIONS, PATH_OVERRIDES, build_topology, location_of
 from .tcp import (
     bandwidth_delay_product_bytes,
+    effective_ceiling_bps,
     multi_stream_bps,
     single_stream_bps,
     stream_count_for_capacity,
@@ -35,6 +36,7 @@ __all__ = [
     "bandwidth_delay_product_bytes",
     "build_topology",
     "classify_traffic",
+    "effective_ceiling_bps",
     "location_of",
     "measure_bandwidth_bps",
     "measure_rtt_s",

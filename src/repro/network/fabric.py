@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..simulation import Environment, Event
+from ..telemetry import NULL_TELEMETRY
+from .tcp import effective_ceiling_bps
 from .topology import Site, Topology, classify_traffic
 
 __all__ = ["Fabric", "Flow", "TrafficMeter"]
@@ -50,6 +52,10 @@ class Flow:
     rate_bps: float = 0.0
     #: Extra shared resources (application channels) this flow uses.
     channels: tuple[str, ...] = ()
+    #: Sim time the transfer was requested (for telemetry durations).
+    started_s: float = 0.0
+    #: Open telemetry span, when tracing is enabled.
+    span: Optional[object] = None
 
     @property
     def resources(self) -> tuple[str, ...]:
@@ -104,9 +110,32 @@ class Fabric:
         stream_cap_bps: Optional[float] = None,
         jitter: float = 0.0,
         rng=None,
+        telemetry=None,
+        trace_min_bytes: float = 4096.0,
     ):
         self.env = env
         self.topology = topology
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: Direct tracer reference when tracing is live — flow start /
+        #: finish are the busiest instrumented call sites, so they skip
+        #: the facade passthrough.
+        self._tracer = self.telemetry.tracer if self.telemetry.enabled else None
+        #: Flows below this size are metered (all counters still fire)
+        #: but get no per-flow span: control-plane messages like DHT
+        #: RPC payloads are already spanned at the protocol layer, and
+        #: they outnumber data flows by an order of magnitude.
+        self.trace_min_bytes = trace_min_bytes
+        self._bytes_counter = self.telemetry.counter(
+            "transfer_bytes_total",
+            "Bytes delivered by the fabric, by traffic class and tag",
+        )
+        self._flows_counter = self.telemetry.counter(
+            "transfers_total", "Completed fabric transfers"
+        )
+        self._flow_seconds = self.telemetry.histogram(
+            "flow_duration_seconds",
+            "Wall time of each fabric transfer (request to last byte)",
+        )
         #: Application-level per-stream throughput cap (bits/s); models
         #: serialization/CPU bottlenecks on top of TCP. ``None`` = no cap.
         self.stream_cap_bps = stream_cap_bps
@@ -118,6 +147,12 @@ class Fabric:
         self.jitter = jitter
         self._rng = rng
         self.meter = TrafficMeter()
+        # Per-label-set metric children and interned track names: flow
+        # completion runs once per transfer, so everything resolvable
+        # ahead of time is cached here, keyed by (src, dst, tag).
+        self._flow_children: dict[tuple[str, str, Optional[str]], tuple] = {}
+        self._flow_seconds_child = None
+        self._track_names: dict[str, str] = {}
         self._flows: set[Flow] = set()
         self._flow_ids = itertools.count()
         self._last_update = env.now
@@ -153,15 +188,12 @@ class Fabric:
         src_site = self.topology.get(src)
         dst_site = self.topology.get(dst)
         path = self.topology.path(src, dst)
-        per_stream = path.single_stream_bps
         if stream_cap_bps is None:
             stream_cap_bps = self.stream_cap_bps
-        if stream_cap_bps is not None:
-            per_stream = min(per_stream, stream_cap_bps)
         for channel in channels:
             if channel not in self._channel_caps:
                 raise KeyError(f"undefined channel {channel!r}")
-        ceiling = max(streams, 1) * per_stream
+        ceiling = effective_ceiling_bps(path, streams, stream_cap_bps)
         if self.jitter > 0:
             if self._rng is None:
                 self._rng = np.random.default_rng(0)
@@ -177,7 +209,16 @@ class Fabric:
             done=done,
             tag=tag,
             channels=tuple(f"channel:{name}" for name in channels),
+            started_s=self.env.now,
         )
+        if self._tracer is not None and nbytes >= self.trace_min_bytes:
+            track = self._track_names.get(src_site.name)
+            if track is None:
+                track = self._track_names[src_site.name] = f"net:{src_site.name}"
+            flow.span = self._tracer.begin(
+                tag or "transfer", category="transfer", track=track,
+                dst=dst_site.name, bytes=flow.total_bytes,
+            )
         self.env.process(self._run_flow(flow, propagation=path.rtt_s / 2.0))
         return done
 
@@ -191,12 +232,40 @@ class Fabric:
 
     # -- flow lifecycle ---------------------------------------------------
 
+    def _finish_flow(self, flow: Flow) -> None:
+        """Meter a delivered flow and fire its completion event."""
+        self.meter.record(flow.src, flow.dst, flow.total_bytes)
+        if self._tracer is not None:
+            # One cache lookup per flow: (src, dst, tag) resolves the
+            # traffic class and both bound counter children at once.
+            child_key = (flow.src.name, flow.dst.name, flow.tag)
+            children = self._flow_children.get(child_key)
+            if children is None:
+                traffic_class = classify_traffic(flow.src, flow.dst)
+                children = self._flow_children[child_key] = (
+                    self._bytes_counter.labels(
+                        link_class=traffic_class, tag=flow.tag or "data"
+                    ),
+                    self._flows_counter.labels(link_class=traffic_class),
+                )
+            bytes_child, flows_child = children
+            bytes_child.inc(flow.total_bytes)
+            flows_child.inc()
+            seconds_child = self._flow_seconds_child
+            if seconds_child is None:
+                seconds_child = self._flow_seconds_child = (
+                    self._flow_seconds.labels()
+                )
+            seconds_child.observe(self.env._now - flow.started_s)
+            if flow.span is not None:
+                self._tracer.finish(flow.span)
+        flow.done.succeed(flow)
+
     def _run_flow(self, flow: Flow, propagation: float):
         if propagation > 0:
             yield self.env.timeout(propagation)
         if flow.remaining_bytes <= 0:
-            self.meter.record(flow.src, flow.dst, flow.total_bytes)
-            flow.done.succeed(flow)
+            self._finish_flow(flow)
             return
         self._advance_clock()
         self._flows.add(flow)
@@ -305,6 +374,5 @@ class Fabric:
         for flow in finished:
             self._flows.discard(flow)
             flow.remaining_bytes = 0.0
-            self.meter.record(flow.src, flow.dst, flow.total_bytes)
-            flow.done.succeed(flow)
+            self._finish_flow(flow)
         self._rebalance()

@@ -18,6 +18,7 @@ __all__ = [
     "multi_stream_bps",
     "stream_count_for_capacity",
     "bandwidth_delay_product_bytes",
+    "effective_ceiling_bps",
 ]
 
 
@@ -38,6 +39,25 @@ def multi_stream_bps(path: PathSpec, streams: int) -> float:
         return path.capacity_bps
     per_stream = 8.0 * path.window_bytes / path.rtt_s
     return min(path.capacity_bps, streams * per_stream)
+
+
+def effective_ceiling_bps(
+    path: PathSpec,
+    streams: int = 1,
+    stream_cap_bps: float | None = None,
+) -> float:
+    """Aggregate rate ceiling of a transfer over ``path``.
+
+    Each of the ``streams`` parallel TCP streams is limited by
+    ``window/RTT`` and, when given, by an application-level per-stream
+    cap (Hivemind's ~1.1 Gb/s serialization budget). This is the
+    per-flow ceiling the fabric feeds into max-min fair sharing; the
+    shared path/NIC capacities are enforced there, not here.
+    """
+    per_stream = path.single_stream_bps
+    if stream_cap_bps is not None:
+        per_stream = min(per_stream, stream_cap_bps)
+    return max(streams, 1) * per_stream
 
 
 def stream_count_for_capacity(path: PathSpec) -> int:

@@ -15,6 +15,18 @@ The kernel is intentionally minimal but complete enough for the study:
 
 Time is a ``float`` in seconds. Scheduling is deterministic: events firing
 at the same timestamp are processed in the order they were scheduled.
+
+An :class:`Environment` optionally carries a telemetry sink (any object
+implementing the hook protocol of
+:class:`repro.telemetry.Telemetry`): its ``on_process_spawn`` /
+``on_process_finish`` / ``on_process_interrupt`` hooks are called on
+process lifecycle transitions when the sink's ``capture_processes``
+flag is set; otherwise the kernel updates the sink's plain integer
+tallies (``processes_spawned`` / ``processes_finished`` /
+``processes_failed``, and per event ``events_scheduled`` /
+``queue_depth_high_water``) in place — a method call per event or
+process would dominate the tracing overhead. With no sink attached
+every hook site is a single ``is None`` check.
 """
 
 from __future__ import annotations
@@ -156,6 +168,15 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        tel = env._telemetry
+        if tel is not None:
+            # Full hook only when the sink records process spans; the
+            # plain tally is inlined otherwise (hundreds of processes
+            # per run make the method call measurable).
+            if tel.capture_processes:
+                tel.on_process_spawn(self)
+            else:
+                tel.processes_spawned += 1
         _Initialize(env, self)
 
     @property
@@ -175,6 +196,8 @@ class Process(Event):
                 self._target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+        if self.env._telemetry is not None:
+            self.env._telemetry.on_process_interrupt(self, cause)
         interrupt_event = Event(self.env)
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
@@ -195,12 +218,25 @@ class Process(Event):
             self._ok = True
             self._value = stop.value
             self.env._queue_event(self)
+            tel = self.env._telemetry
+            if tel is not None:
+                if tel.capture_processes:
+                    tel.on_process_finish(self, ok=True)
+                else:
+                    tel.processes_finished += 1
             self.env._active_process = None
             return
         except BaseException as error:
             self._ok = False
             self._value = error
             self.env._queue_event(self)
+            tel = self.env._telemetry
+            if tel is not None:
+                if tel.capture_processes:
+                    tel.on_process_finish(self, ok=False)
+                else:
+                    tel.processes_finished += 1
+                    tel.processes_failed += 1
             self.env._active_process = None
             return
         finally:
@@ -302,15 +338,23 @@ class AnyOf(_Condition):
 class Environment:
     """The simulation clock and event queue."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, telemetry=None):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        #: Optional telemetry sink (duck-typed; see module docstring).
+        self._telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind(self)
 
     @property
     def now(self) -> float:
         return self._now
+
+    @property
+    def telemetry(self):
+        return self._telemetry
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -338,6 +382,15 @@ class Environment:
     def _queue_event(self, event: Event, delay: float = 0.0) -> None:
         heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
         self._sequence += 1
+        # Hottest path in the kernel: only the queue-depth high-water
+        # mark is tracked here (as a plain-int attribute update, not a
+        # method call); the scheduled-event count is recovered from
+        # ``_sequence`` by the sink, so it costs nothing extra.
+        tel = self._telemetry
+        if tel is not None:
+            depth = len(self._queue)
+            if depth > tel.queue_depth_high_water:
+                tel.queue_depth_high_water = depth
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""

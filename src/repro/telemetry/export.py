@@ -1,0 +1,296 @@
+"""Exporters: Chrome ``trace_event`` JSON, JSONL event log, Prometheus text.
+
+The Chrome format (loadable in ``chrome://tracing`` and Perfetto) maps
+one simulation run to a *process* (pid) and one span track — typically
+a peer site — to a *thread* (tid), so a geo-distributed run renders as
+one labelled timeline per peer. Timestamps are simulation seconds
+scaled to microseconds; because the simulator is deterministic, the
+emitted bytes are identical across identically-seeded runs (asserted
+by ``tests/test_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import InstantEvent, Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .sink import Telemetry
+
+__all__ = [
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "to_prometheus_text",
+    "write_prometheus",
+    "validate_chrome_trace",
+]
+
+_TraceSource = Union[Tracer, "Telemetry"]
+
+
+def _tracer_of(source: _TraceSource) -> Tracer:
+    tracer = getattr(source, "tracer", source)
+    if not isinstance(tracer, Tracer):
+        raise TypeError(f"no tracer on {source!r}")
+    return tracer
+
+
+def _microseconds(seconds: float) -> float:
+    # Round to 1/1000 us: keeps the JSON compact and byte-stable.
+    value = round(seconds * 1e6, 3)
+    return int(value) if value == int(value) else value
+
+
+def chrome_trace_events(source: _TraceSource) -> list[dict]:
+    """The ``traceEvents`` array: metadata, then spans, then instants.
+
+    Seals the tracer first (see :meth:`Tracer.seal`) so the byte output
+    is independent of garbage-collection timing.
+    """
+    tracer = _tracer_of(source)
+    tracer.seal()
+    tids: dict[tuple[int, str], int] = {}
+    events: list[dict] = []
+    for run, track in tracer.tracks():
+        tid = tids[(run, track)] = len(tids)
+        events.append({
+            "ph": "M", "name": "process_name", "pid": run, "tid": tid,
+            "args": {"name": f"run {run}"},
+        })
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": run, "tid": tid,
+            "args": {"name": track},
+        })
+    for span in tracer.spans:
+        event = {
+            "name": span.name,
+            "cat": span.category or "default",
+            "ph": "X",
+            "ts": _microseconds(span.start_s),
+            "dur": _microseconds(span.duration_s),
+            "pid": span.run,
+            "tid": tids[(span.run, span.track)],
+        }
+        if span.attrs:
+            event["args"] = {k: _json_safe(v)
+                             for k, v in span.attrs.items()}
+        events.append(event)
+    for instant in tracer.instants:
+        event = {
+            "name": instant.name,
+            "cat": instant.category or "default",
+            "ph": "i",
+            "s": "t",
+            "ts": _microseconds(instant.time_s),
+            "pid": instant.run,
+            "tid": tids[(instant.run, instant.track)],
+        }
+        if instant.attrs:
+            event["args"] = {k: _json_safe(v)
+                             for k, v in instant.attrs.items()}
+        events.append(event)
+    return events
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    return str(value)
+
+
+def to_chrome_trace(source: _TraceSource) -> dict:
+    return {
+        "traceEvents": chrome_trace_events(source),
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulation-seconds"},
+    }
+
+
+def write_chrome_trace(source: _TraceSource, path: str | Path) -> Path:
+    path = Path(path)
+    payload = json.dumps(to_chrome_trace(source), sort_keys=True,
+                         separators=(",", ":"))
+    path.write_text(payload + "\n")
+    return path
+
+
+def validate_chrome_trace(document: dict) -> list[str]:
+    """Schema check for the ``trace_event`` format; returns problems."""
+    problems: list[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("X", "B", "E", "i", "I", "M", "C"):
+            problems.append(f"event {index}: unknown phase {phase!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {index}: missing {key!r}")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)):
+                problems.append(f"event {index}: bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {index}: bad dur {dur!r}")
+    return problems
+
+
+# -- JSONL event log -------------------------------------------------------
+
+def to_jsonl(source: _TraceSource) -> str:
+    """One JSON object per line: every span, then every instant event."""
+    tracer = _tracer_of(source)
+    tracer.seal()
+    lines = []
+    for span in tracer.spans:
+        lines.append(json.dumps({
+            "type": "span",
+            "name": span.name,
+            "category": span.category,
+            "track": span.track,
+            "start_s": span.start_s,
+            "end_s": span.end_s,
+            "run": span.run,
+            "attrs": {k: _json_safe(v) for k, v in span.attrs.items()},
+        }, sort_keys=True, separators=(",", ":")))
+    for instant in tracer.instants:
+        lines.append(json.dumps({
+            "type": "instant",
+            "name": instant.name,
+            "category": instant.category,
+            "track": instant.track,
+            "time_s": instant.time_s,
+            "run": instant.run,
+            "attrs": {k: _json_safe(v) for k, v in instant.attrs.items()},
+        }, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(source: _TraceSource, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(to_jsonl(source))
+    return path
+
+
+def read_jsonl(path: str | Path) -> Tracer:
+    """Reload a JSONL event log into a fresh :class:`Tracer`."""
+    tracer = Tracer()
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "span":
+            tracer.spans.append(Span(
+                name=record["name"],
+                category=record["category"],
+                track=record["track"],
+                start_s=record["start_s"],
+                end_s=record["end_s"],
+                run=record.get("run", 0),
+                attrs=record.get("attrs", {}),
+            ))
+        elif kind == "instant":
+            tracer.instants.append(InstantEvent(
+                name=record["name"],
+                category=record["category"],
+                track=record["track"],
+                time_s=record["time_s"],
+                run=record.get("run", 0),
+                attrs=record.get("attrs", {}),
+            ))
+        else:
+            raise ValueError(f"unknown record type {kind!r}")
+    return tracer
+
+
+# -- Prometheus text exposition --------------------------------------------
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(key) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+def _merge_labels(key, extra: tuple[str, str]):
+    return tuple(sorted(key + (extra,)))
+
+
+def to_prometheus_text(registry) -> str:
+    """Final metric values in the Prometheus text exposition format."""
+    if not isinstance(registry, MetricsRegistry):
+        metrics_attr = getattr(registry, "metrics", None)
+        if isinstance(metrics_attr, MetricsRegistry):
+            sync = getattr(registry, "sync_kernel_metrics", None)
+            if sync is not None:
+                sync()
+            registry = metrics_attr
+        else:
+            raise TypeError(f"no metrics registry on {registry!r}")
+    lines: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for key, value in metric.samples():
+                lines.append(
+                    f"{metric.name}{_format_labels(key)} "
+                    f"{_format_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for key in metric.label_keys():
+                series = metric._series[key]
+                running = 0
+                for bound, count in zip(metric.buckets,
+                                        series.bucket_counts):
+                    running += count
+                    labels = _merge_labels(key, ("le", _format_value(bound)))
+                    lines.append(
+                        f"{metric.name}_bucket{_format_labels(labels)} "
+                        f"{running}"
+                    )
+                labels = _merge_labels(key, ("le", "+Inf"))
+                lines.append(
+                    f"{metric.name}_bucket{_format_labels(labels)} "
+                    f"{series.count}"
+                )
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(key)} "
+                    f"{_format_value(series.sum)}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_format_labels(key)} "
+                    f"{series.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(to_prometheus_text(registry))
+    return path

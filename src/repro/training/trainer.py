@@ -14,6 +14,7 @@ from typing import Callable, Iterable, Optional
 
 import numpy as np
 
+from ..telemetry import NULL_TELEMETRY
 from .autograd import Tensor
 from .layers import Module
 from .losses import cross_entropy
@@ -124,9 +125,20 @@ class LocalTrainer:
         loss_fn: Callable[[Tensor, np.ndarray], Tensor] = cross_entropy,
         schedule=None,
         max_grad_norm: Optional[float] = None,
+        telemetry=None,
     ):
         if microbatch_size < 1:
             raise ValueError("microbatch_size must be >= 1")
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._steps_counter = self.telemetry.counter(
+            "optimizer_steps_total", "Optimizer steps applied"
+        )
+        self._microbatch_counter = self.telemetry.counter(
+            "microbatches_total", "Microbatch forward/backward passes"
+        )
+        self._loss_gauge = self.telemetry.gauge(
+            "train_loss", "Most recent microbatch loss"
+        )
         self.model = model
         self.optimizer = optimizer
         self.loss_fn = loss_fn
@@ -159,6 +171,8 @@ class LocalTrainer:
                 self.accumulator.add(gradient, self.microbatch_size)
                 self.log.losses.append(loss)
                 self.log.samples_seen += self.microbatch_size
+                self._microbatch_counter.inc()
+                self._loss_gauge.set(loss)
             self.apply_accumulated()
         return self.log
 
@@ -174,4 +188,5 @@ class LocalTrainer:
         self.model.load_grad_vector(gradient)
         self.optimizer.step()
         self.steps_taken += 1
+        self._steps_counter.inc()
         self.accumulator.reset()
