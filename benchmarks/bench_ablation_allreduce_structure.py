@@ -12,8 +12,6 @@ exactly why the egress-dominated cost analysis of Figure 11 favours
 group-based averaging.
 """
 
-import pytest
-
 from repro.cloud import PRICING
 from repro.hivemind import Contribution, GroupPlan, MoshpitAverager, form_groups
 from repro.models import get_model

@@ -1,7 +1,5 @@
 """Table 1: average us-west cloud pricing (April 2023)."""
 
-import pytest
-
 from repro.experiments.figures import table1
 
 from conftest import run_report

@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Standalone entry point for the curated perf suite (``repro bench``).
+
+Thin wrapper over :mod:`repro.bench` for environments where the package
+is not installed as a console script::
+
+    python benchmarks/harness.py --quick --output BENCH_PR2.json
+    python benchmarks/harness.py --quick --check BENCH_PR2.json
+
+Accepts exactly the same flags as ``repro bench``; see that subcommand
+(or README.md § Benchmarks) for the JSON schema and the CI gate.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

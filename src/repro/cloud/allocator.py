@@ -15,7 +15,7 @@ report the achieved uptime fraction, which is what the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np

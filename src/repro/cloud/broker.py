@@ -12,8 +12,7 @@ market on every placement and blacklisting flappy zones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -20,7 +20,7 @@ from ..hivemind.matchmaking import form_groups
 from ..models import get_model
 from ..network import Topology
 from .analytical import Prediction, predict
-from .granularity import best_speedup_when_doubling, speedup_from_scaling
+from .granularity import best_speedup_when_doubling
 
 __all__ = ["Advice", "evaluate_setup", "recommend_target_batch_size"]
 

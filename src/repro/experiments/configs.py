@@ -15,7 +15,7 @@ Naming follows the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..hivemind import HivemindRunConfig, PeerSpec
 from ..network import Topology, build_topology

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..cloud import PRICING, egress_price_per_gb, instance_price_per_hour
+from ..cloud import PRICING
 from ..core import call_fractions, cost_per_million_samples
 from ..models import CV_KEYS, NLP_KEYS, get_model
 from ..network import (
@@ -24,7 +24,7 @@ from ..network import (
     multi_stream_bps,
     profile_matrix,
 )
-from .configs import EXPERIMENTS, get_spec
+from .configs import get_spec
 from .runner import ExperimentResult, centralized_baseline, run_experiment
 
 __all__ = ["Report", "REPORTS", "generate", "render", "report_keys"]

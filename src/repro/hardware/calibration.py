@@ -120,12 +120,25 @@ def supports(gpu: str | GpuSpec, model: str | ModelSpec) -> bool:
     return (gpu_key, model_key) not in UNSUPPORTED
 
 
+# Memoised (gpu_key, model_key) → samples/second. The tables above are
+# module constants and the spec catalogs are static, so resolved values
+# never change; unsupported pairs are re-checked (and re-raised) on
+# every call rather than cached.
+_SPS_MEMO: dict[tuple[str, str], float] = {}
+_LOCAL_SPS_MEMO: dict[tuple[str, str], float] = {}
+
+
 def baseline_sps(gpu: str | GpuSpec, model: str | ModelSpec) -> float:
     """Single-device baseline throughput in samples/second.
 
     Prefers the calibrated table; falls back to an FP16-FLOPs
     proportional estimate for uncovered pairs.
     """
+    gpu_key = gpu.key if isinstance(gpu, GpuSpec) else gpu
+    model_key = model.key if isinstance(model, ModelSpec) else model
+    cached = _SPS_MEMO.get((gpu_key, model_key))
+    if cached is not None:
+        return cached
     gpu_spec = gpu if isinstance(gpu, GpuSpec) else get_gpu(gpu)
     model_spec = model if isinstance(model, ModelSpec) else get_model(model)
     key = (gpu_spec.key, model_spec.key)
@@ -134,15 +147,25 @@ def baseline_sps(gpu: str | GpuSpec, model: str | ModelSpec) -> float:
             f"{model_spec.name} does not fit on {gpu_spec.name} (paper: OOM)"
         )
     if key in CALIBRATED_SPS:
-        return CALIBRATED_SPS[key]
-    efficiency = _FALLBACK_EFFICIENCY[model_spec.domain]
-    return (
-        gpu_spec.fp16_tflops * 1e12 * efficiency
-        / model_spec.train_flops_per_sample
-    )
+        value = CALIBRATED_SPS[key]
+    else:
+        efficiency = _FALLBACK_EFFICIENCY[model_spec.domain]
+        value = (
+            gpu_spec.fp16_tflops * 1e12 * efficiency
+            / model_spec.train_flops_per_sample
+        )
+    _SPS_MEMO[key] = value
+    return value
 
 
 def local_sps(gpu: str | GpuSpec, model: str | ModelSpec) -> float:
     """Hivemind *local* throughput: baseline times the GAC penalty."""
+    gpu_key = gpu.key if isinstance(gpu, GpuSpec) else gpu
+    model_key = model.key if isinstance(model, ModelSpec) else model
+    cached = _LOCAL_SPS_MEMO.get((gpu_key, model_key))
+    if cached is not None:
+        return cached
     model_spec = model if isinstance(model, ModelSpec) else get_model(model)
-    return baseline_sps(gpu, model_spec) * model_spec.local_penalty
+    value = baseline_sps(gpu, model_spec) * model_spec.local_penalty
+    _LOCAL_SPS_MEMO[(gpu_key, model_key)] = value
+    return value

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Optional
 
 from ..network import Fabric
@@ -27,8 +28,10 @@ _RPC_BYTES = 512.0
 _RPC_TIMEOUT_S = 3.0
 
 
+@lru_cache(maxsize=65536)
 def node_id_for(name: str) -> int:
-    """Deterministic 160-bit node/key id from a string."""
+    """Deterministic 160-bit node/key id from a string (memoised —
+    progress keys are re-hashed every epoch by every peer)."""
     return int.from_bytes(hashlib.sha1(name.encode()).digest(), "big")
 
 
@@ -122,10 +125,15 @@ class DhtNetwork:
         with self._span(name, category="dht", track=src.site, dst=dst.site):
             yield self.fabric.transfer(src.site, dst.site, _RPC_BYTES,
                                        tag="dht")
-            response = getattr(dst, f"handle_{method}")(src, *args)
+            handler = dst._handler_cache.get(method)
+            if handler is None:
+                handler = dst._handler_cache[method] = getattr(
+                    dst, f"handle_{method}"
+                )
+            response = handler(src, *args)
             yield self.fabric.transfer(dst.site, src.site, _RPC_BYTES,
                                        tag="dht")
-        dst.routing.add(_Contact(src.node_id, src.site))
+        dst.routing.add(src.contact)
         return response
 
 
@@ -144,6 +152,11 @@ class DhtNode:
         self.site = site
         self.name = name or site
         self.node_id = node_id_for(self.name)
+        #: This node's interned contact record — always value-equal to a
+        #: freshly built one, so sharing it is free (and the identity
+        #: fast path speeds up bucket membership checks).
+        self.contact = _Contact(self.node_id, site)
+        self._handler_cache: dict[str, Any] = {}
         self.routing = RoutingTable(self.node_id, k=k)
         self.k = k
         self.alpha = alpha
@@ -189,7 +202,7 @@ class DhtNode:
     def join(self, bootstrap: Optional["DhtNode"]):
         """Join via a bootstrap node and populate the routing table."""
         if bootstrap is not None and bootstrap is not self:
-            self.routing.add(_Contact(bootstrap.node_id, bootstrap.site))
+            self.routing.add(bootstrap.contact)
             yield from self._iterative_find(self.node_id)
         return self
 
@@ -197,7 +210,7 @@ class DhtNode:
         """Store at the k nodes closest to the key."""
         key_id = node_id_for(key)
         closest = yield from self._iterative_find(key_id)
-        targets = closest or [_Contact(self.node_id, self.site)]
+        targets = closest or [self.contact]
         expires_at = self.env.now + ttl_s
         for contact in targets[: self.k]:
             if contact.node_id == self.node_id:

@@ -15,14 +15,14 @@ by class and by site, and the data-loading bill.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..cloud import InterruptionModel, SpotFleet, get_instance_type
 from ..data import StoreLink, get_dataset
 from ..hardware import get_gpu, local_sps
-from ..models import ModelSpec, get_model
+from ..models import get_model
 from ..network import Fabric, Topology
 from ..simulation import Environment, RandomStreams
 from ..telemetry import resolve_telemetry
@@ -166,6 +166,9 @@ class RunResult:
     monitor_samples: int = 0
     interruptions: int = 0
     state_syncs: int = 0
+    #: High-water mark of concurrent fabric flows during the run
+    #: (reported by ``repro bench`` as a fan-out size proxy).
+    peak_active_flows: int = 0
     losses: list[float] = field(default_factory=list)
     metrics: list[MetricSample] = field(default_factory=list)
     #: The telemetry sink the run recorded into (``None`` when tracing
@@ -577,6 +580,7 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
         },
         monitor_samples=len(monitor.samples) if monitor is not None else 0,
         interruptions=fleet.total_interruptions if fleet is not None else 0,
+        peak_active_flows=fabric.peak_active_flows,
         state_syncs=state_syncs[0],
         losses=losses,
         metrics=metric_samples,

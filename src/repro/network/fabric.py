@@ -14,6 +14,17 @@ progressive filling (max-min fairness) and recomputed whenever a flow
 starts or finishes, which is the standard fluid approximation for TCP
 fair sharing.
 
+Rebalancing is incremental: resource membership is maintained as flows
+start and finish (rather than rebuilt from every active flow), static
+resource capacities and resource-id tuples are cached, and all flow
+arrivals within one simulated instant are coalesced into a single
+progressive-filling pass scheduled at the end of the instant via
+:meth:`Environment.defer`. The filling arithmetic itself is unchanged —
+the same global increment sequence is applied in the same order — so
+identically-seeded runs produce byte-identical traces and results
+before and after the optimisation (see ``tests/test_fairness_incremental.py``
+and ``tests/test_golden_determinism.py``).
+
 Every completed transfer is recorded in a :class:`TrafficMeter` so the
 cost model can later price egress per traffic class.
 """
@@ -37,7 +48,7 @@ __all__ = ["Fabric", "Flow", "TrafficMeter"]
 _EPS = 1e-9
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Flow:
     """One in-flight transfer (hashable by identity)."""
 
@@ -56,9 +67,18 @@ class Flow:
     started_s: float = 0.0
     #: Open telemetry span, when tracing is enabled.
     span: Optional[object] = None
+    #: Shared-resource ids this flow occupies, resolved once at
+    #: creation (the fabric interns the tuple per (src, dst, channels)).
+    resource_ids: tuple[str, ...] = ()
+    # Working state of the progressive-filling pass (_assign_rates).
+    _fill_headroom: float = field(default=0.0, init=False, repr=False)
+    _fill_active: bool = field(default=False, init=False, repr=False)
+    _fill_entries: Optional[list] = field(default=None, init=False, repr=False)
 
     @property
     def resources(self) -> tuple[str, ...]:
+        if self.resource_ids:
+            return self.resource_ids
         if self.src.name == self.dst.name:
             return self.channels
         return (
@@ -76,12 +96,19 @@ class TrafficMeter:
         self.by_class: dict[str, float] = defaultdict(float)
         #: Egress bytes leaving each site, keyed by site name.
         self.egress_by_site: dict[str, float] = defaultdict(float)
+        # Traffic classification is a pure function of the (immutable)
+        # site pair; memoised because record() runs once per transfer.
+        self._class_memo: dict[tuple[str, str], str] = {}
 
     def record(self, src: Site, dst: Site, nbytes: float) -> None:
         if nbytes <= 0:
             return
-        self.by_pair[(src.name, dst.name)] += nbytes
-        self.by_class[classify_traffic(src, dst)] += nbytes
+        pair = (src.name, dst.name)
+        self.by_pair[pair] += nbytes
+        klass = self._class_memo.get(pair)
+        if klass is None:
+            klass = self._class_memo[pair] = classify_traffic(src, dst)
+        self.by_class[klass] += nbytes
         self.egress_by_site[src.name] += nbytes
 
     @property
@@ -96,8 +123,31 @@ class TrafficMeter:
 
 @dataclass
 class _ResourceState:
+    """A shared resource: its static capacity and current member flows.
+
+    Membership is maintained incrementally by
+    :meth:`Fabric._register_flow` / :meth:`Fabric._unregister_flow`;
+    the capacity is resolved from the topology once and cached.
+    """
+
     capacity: float
     members: set = field(default_factory=set)
+
+
+class _FillEntry:
+    """Per-pass working state of one shared resource.
+
+    ``members`` aliases the persistent :class:`_ResourceState` set (it
+    is never mutated during a pass — saturation is tracked with
+    per-flow flags and the unsaturated-member ``count``).
+    """
+
+    __slots__ = ("remaining", "count", "members")
+
+    def __init__(self, remaining: float, count: int, members: set):
+        self.remaining = remaining
+        self.count = count
+        self.members = members
 
 
 class Fabric:
@@ -158,6 +208,22 @@ class Fabric:
         self._last_update = env.now
         self._generation = 0
         self._channel_caps: dict[str, float] = {}
+        #: Shared resources with at least one member flow, maintained
+        #: incrementally as flows start and finish.
+        self._resources: dict[str, _ResourceState] = {}
+        #: Static resource capacities (topology/channel lookups are the
+        #: old per-rebalance hot spot); invalidated when the topology
+        #: version moves or a channel is redefined.
+        self._capacity_cache: dict[str, float] = {}
+        self._topology_version = topology._version
+        #: Per-(src, dst, channels) route cache: (src_site, dst_site,
+        #: path, propagation_s, resource_ids, channel_ids). Cleared
+        #: whenever the topology version moves.
+        self._rid_cache: dict[tuple, tuple] = {}
+        #: True while a coalesced refill is scheduled for this instant.
+        self._refill_pending = False
+        #: High-water mark of concurrent flows (reported by `repro bench`).
+        self.peak_active_flows = 0
 
     def define_channel(self, name: str, capacity_bps: float) -> None:
         """Register a shared application channel (e.g. a per-VM
@@ -165,6 +231,11 @@ class Fabric:
         if capacity_bps <= 0:
             raise ValueError("channel capacity must be positive")
         self._channel_caps[name] = capacity_bps
+        rid = f"channel:{name}"
+        self._capacity_cache[rid] = capacity_bps
+        state = self._resources.get(rid)
+        if state is not None:
+            state.capacity = capacity_bps
 
     # -- public API -------------------------------------------------------
 
@@ -185,20 +256,20 @@ class Fabric:
         """
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
-        src_site = self.topology.get(src)
-        dst_site = self.topology.get(dst)
-        path = self.topology.path(src, dst)
+        if self.topology._version != self._topology_version:
+            self._refresh_topology_caches()
+        entry = self._rid_cache.get((src, dst, channels))
+        if entry is None:
+            entry = self._resolve_transfer(src, dst, channels)
+        src_site, dst_site, path, propagation, resource_ids, channel_ids = entry
         if stream_cap_bps is None:
             stream_cap_bps = self.stream_cap_bps
-        for channel in channels:
-            if channel not in self._channel_caps:
-                raise KeyError(f"undefined channel {channel!r}")
         ceiling = effective_ceiling_bps(path, streams, stream_cap_bps)
         if self.jitter > 0:
             if self._rng is None:
                 self._rng = np.random.default_rng(0)
             ceiling *= float(np.exp(self._rng.normal(0.0, self.jitter)))
-        done = self.env.event()
+        done = Event(self.env)
         flow = Flow(
             flow_id=next(self._flow_ids),
             src=src_site,
@@ -208,8 +279,9 @@ class Fabric:
             ceiling_bps=ceiling,
             done=done,
             tag=tag,
-            channels=tuple(f"channel:{name}" for name in channels),
+            channels=channel_ids,
             started_s=self.env.now,
+            resource_ids=resource_ids,
         )
         if self._tracer is not None and nbytes >= self.trace_min_bytes:
             track = self._track_names.get(src_site.name)
@@ -219,8 +291,54 @@ class Fabric:
                 tag or "transfer", category="transfer", track=track,
                 dst=dst_site.name, bytes=flow.total_bytes,
             )
-        self.env.process(self._run_flow(flow, propagation=path.rtt_s / 2.0))
+        env = self.env
+        tel = env._telemetry
+        if tel is not None and tel.capture_processes:
+            # Debug mode: keep the generator process so each flow shows
+            # up as a span on the ``sim:processes`` track.
+            env.process(self._run_flow(flow, propagation=propagation))
+            return done
+        # Fast path: admit the flow via a bare timer callback — same
+        # simulated times and the same logical process tally, but no
+        # generator, no ``_Initialize`` event, and no process-completion
+        # event per flow.
+        if tel is not None:
+            tel.processes_spawned += 1
+        if propagation > 0:
+            timer = env.timeout(propagation)
+            timer.callbacks.append(lambda _event, _flow=flow: self._admit_flow(_flow))
+        else:
+            env.defer(lambda _flow=flow: self._admit_flow(_flow))
         return done
+
+    def _resolve_transfer(
+        self, src: str, dst: str, channels: tuple[str, ...]
+    ) -> tuple:
+        """Resolve and cache everything static about a transfer route:
+        endpoint sites, path spec, one-way propagation delay, and the
+        interned resource-id tuples. Channel names are validated here,
+        once per distinct (src, dst, channels) combination."""
+        src_site = self.topology.get(src)
+        dst_site = self.topology.get(dst)
+        path = self.topology.path(src, dst)
+        for channel in channels:
+            if channel not in self._channel_caps:
+                raise KeyError(f"undefined channel {channel!r}")
+        channel_ids = tuple(f"channel:{name}" for name in channels)
+        if src == dst:
+            resource_ids = channel_ids
+        else:
+            resource_ids = (
+                f"egress:{src}",
+                f"ingress:{dst}",
+                f"path:{'|'.join(sorted((src, dst)))}",
+            ) + channel_ids
+        entry = (
+            src_site, dst_site, path, path.rtt_s / 2.0,
+            resource_ids, channel_ids,
+        )
+        self._rid_cache[(src, dst, channels)] = entry
+        return entry
 
     def ping_s(self, a: str, b: str) -> float:
         """ICMP-style round-trip time between two sites, in seconds."""
@@ -259,7 +377,21 @@ class Fabric:
             seconds_child.observe(self.env._now - flow.started_s)
             if flow.span is not None:
                 self._tracer.finish(flow.span)
+        tel = self.env._telemetry
+        if tel is not None and not tel.capture_processes:
+            # Close out the logical flow process of the fast admission
+            # path (the generator path tallies via the Process class).
+            tel.processes_finished += 1
         flow.done.succeed(flow)
+
+    def _admit_flow(self, flow: Flow) -> None:
+        """Fast-path flow admission after propagation delay."""
+        if flow.remaining_bytes <= 0:
+            self._finish_flow(flow)
+            return
+        self._advance_clock()
+        self._register_flow(flow)
+        self._mark_dirty()
 
     def _run_flow(self, flow: Flow, propagation: float):
         if propagation > 0:
@@ -268,9 +400,57 @@ class Fabric:
             self._finish_flow(flow)
             return
         self._advance_clock()
-        self._flows.add(flow)
-        self._rebalance()
+        self._register_flow(flow)
+        self._mark_dirty()
         yield flow.done
+
+    def _register_flow(self, flow: Flow) -> None:
+        """Add a flow to the active set and its resources' member sets."""
+        self._flows.add(flow)
+        if len(self._flows) > self.peak_active_flows:
+            self.peak_active_flows = len(self._flows)
+        resources = self._resources
+        for rid in flow.resource_ids:
+            state = resources.get(rid)
+            if state is None:
+                state = resources[rid] = _ResourceState(self._capacity_of(rid))
+            state.members.add(flow)
+
+    def _unregister_flow(self, flow: Flow) -> None:
+        """Remove a finished flow from the active set and its resources."""
+        self._flows.discard(flow)
+        resources = self._resources
+        for rid in flow.resource_ids:
+            state = resources.get(rid)
+            if state is not None:
+                state.members.discard(flow)
+                if not state.members:
+                    del resources[rid]
+
+    def _capacity_of(self, rid: str) -> float:
+        cap = self._capacity_cache.get(rid)
+        if cap is None:
+            cap = self._capacity_cache[rid] = self._resource_capacity(rid)
+        return cap
+
+    def _mark_dirty(self) -> None:
+        """Invalidate outstanding completion timers and queue a refill.
+
+        The generation bump happens immediately — exactly when the old
+        eager rebalance would have invalidated timers — while the
+        progressive-filling pass is deferred to the end of the current
+        instant, coalescing all same-instant arrivals and departures
+        into a single pass over the final flow set.
+        """
+        self._generation += 1
+        if not self._refill_pending:
+            self._refill_pending = True
+            self.env.defer(self._deferred_refill)
+
+    def _deferred_refill(self) -> None:
+        self._refill_pending = False
+        self._advance_clock()
+        self._rebalance()
 
     def _advance_clock(self) -> None:
         """Account progress of all flows since the last rate change."""
@@ -282,48 +462,102 @@ class Fabric:
 
     def _rebalance(self) -> None:
         """Recompute max-min fair rates and reschedule completion."""
+        if self.topology._version != self._topology_version:
+            self._refresh_topology_caches()
         self._assign_rates()
         self._generation += 1
         self._schedule_next_completion()
 
-    def _assign_rates(self) -> None:
-        resources: dict[str, _ResourceState] = {}
-        for flow in self._flows:
-            flow.rate_bps = 0.0
-            for resource_id in flow.resources:
-                if resource_id not in resources:
-                    resources[resource_id] = _ResourceState(
-                        capacity=self._resource_capacity(resource_id)
-                    )
-                resources[resource_id].members.add(flow)
-            # The per-flow TCP/serialization ceiling as a private resource.
-            private = f"flow:{flow.flow_id}"
-            resources[private] = _ResourceState(capacity=flow.ceiling_bps)
-            resources[private].members.add(flow)
+    def _refresh_topology_caches(self) -> None:
+        self._topology_version = self.topology._version
+        self._capacity_cache.clear()
+        self._rid_cache.clear()
+        for rid, state in self._resources.items():
+            state.capacity = self._capacity_of(rid)
 
-        active = set(self._flows)
+    def _assign_rates(self) -> None:
+        """Progressive filling over the incrementally-maintained resources.
+
+        Arithmetically identical to a from-scratch max-min computation:
+        the same sequence of global fill increments is applied to each
+        flow in the same order (the per-flow ceiling is folded into a
+        headroom counter, which is the private single-member resource of
+        the reference algorithm — ``capacity / 1`` and ``capacity -
+        increment * 1`` are bitwise-exact identities). Only the data
+        structures differ: membership sets are reused rather than
+        rebuilt, and saturation freezes flows via flags and unsaturated
+        member counts instead of set discards across every resource.
+        """
+        flows = self._flows
+        if not flows:
+            return
+        resources = self._resources
+        if len(flows) == 1:
+            # One flow: its rate is the min of its ceiling and its
+            # resources' capacities (a single fill round of the general
+            # algorithm, with ``0.0 + x == x`` for the accumulation).
+            (flow,) = flows
+            rate = flow.ceiling_bps
+            for rid in flow.resource_ids:
+                capacity = resources[rid].capacity
+                if capacity < rate:
+                    rate = capacity
+            flow.rate_bps = rate
+            return
+        for flow in flows:
+            flow.rate_bps = 0.0
+            flow._fill_headroom = flow.ceiling_bps
+            flow._fill_active = True
+            flow._fill_entries = []
+        entries = []
+        for state in resources.values():
+            members = state.members
+            entry = _FillEntry(state.capacity, len(members), members)
+            entries.append(entry)
+            for flow in members:
+                flow._fill_entries.append(entry)
+        active = list(flows)
         while active:
-            increment = min(
-                state.capacity / len(state.members)
-                for state in resources.values()
-                if state.members
-            )
-            saturated_flows: set[Flow] = set()
-            for state in resources.values():
-                if not state.members:
-                    continue
-                state.capacity -= increment * len(state.members)
-                if state.capacity <= _EPS * max(1.0, increment):
-                    saturated_flows |= state.members
+            increment = active[0]._fill_headroom
+            for flow in active:
+                headroom = flow._fill_headroom
+                if headroom < increment:
+                    increment = headroom
+            for entry in entries:
+                share = entry.remaining / entry.count
+                if share < increment:
+                    increment = share
+            threshold = _EPS * (increment if increment > 1.0 else 1.0)
+            saturated_entries = None
+            for entry in entries:
+                entry.remaining -= increment * entry.count
+                if entry.remaining <= threshold:
+                    if saturated_entries is None:
+                        saturated_entries = [entry]
+                    else:
+                        saturated_entries.append(entry)
+            newly = []
             for flow in active:
                 flow.rate_bps += increment
-            if not saturated_flows:
+                headroom = flow._fill_headroom - increment
+                flow._fill_headroom = headroom
+                if headroom <= threshold:
+                    flow._fill_active = False
+                    newly.append(flow)
+            if saturated_entries is not None:
+                for entry in saturated_entries:
+                    for flow in entry.members:
+                        if flow._fill_active:
+                            flow._fill_active = False
+                            newly.append(flow)
+            if not newly:
                 # Numerical safety: freeze everything to guarantee progress.
-                saturated_flows = set(active)
-            for flow in saturated_flows:
-                active.discard(flow)
-                for state in resources.values():
-                    state.members.discard(flow)
+                break
+            for flow in newly:
+                for entry in flow._fill_entries:
+                    entry.count -= 1
+            active = [f for f in active if f._fill_active]
+            entries = [e for e in entries if e.count > 0]
 
     def _resource_capacity(self, resource_id: str) -> float:
         kind, __, rest = resource_id.partition(":")
@@ -372,7 +606,7 @@ class Fabric:
             )
         ]
         for flow in finished:
-            self._flows.discard(flow)
+            self._unregister_flow(flow)
             flow.remaining_bytes = 0.0
             self._finish_flow(flow)
-        self._rebalance()
+        self._mark_dirty()

@@ -136,6 +136,17 @@ class Topology:
 
     sites: dict[str, Site] = field(default_factory=dict)
     _overrides: dict[frozenset, PathSpec] = field(default_factory=dict)
+    #: Resolved-path memo: :meth:`path` is on the fabric's per-transfer
+    #: hot path and sites/overrides are immutable once a simulation
+    #: starts, so each ordered pair resolves to its (frozen) PathSpec
+    #: exactly once. Cleared by :meth:`set_path`.
+    _path_cache: dict[tuple[str, str], PathSpec] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Bumped whenever path resolution may change; consumers that cache
+    #: derived values (the fabric's resource capacities) compare this to
+    #: decide when to invalidate.
+    _version: int = field(default=0, repr=False, compare=False)
 
     def add_site(self, site: Site) -> Site:
         if site.name in self.sites:
@@ -157,17 +168,25 @@ class Topology:
         """Override path properties between two sites (symmetric)."""
         default = self._default_path(self.sites[a], self.sites[b])
         self._overrides[frozenset((a, b))] = PathSpec(
-            capacity_bps=capacity_bps if capacity_bps is not None else default.capacity_bps,
+            capacity_bps=capacity_bps
+            if capacity_bps is not None else default.capacity_bps,
             rtt_s=rtt_s if rtt_s is not None else default.rtt_s,
-            window_bytes=window_bytes if window_bytes is not None else default.window_bytes,
+            window_bytes=window_bytes
+            if window_bytes is not None else default.window_bytes,
         )
+        self._path_cache.clear()
+        self._version += 1
 
     def path(self, a: str, b: str) -> PathSpec:
-        """Resolve the path between two named sites."""
-        key = frozenset((a, b))
-        if key in self._overrides:
-            return self._overrides[key]
-        return self._default_path(self.sites[a], self.sites[b])
+        """Resolve the path between two named sites (memoised)."""
+        cached = self._path_cache.get((a, b))
+        if cached is not None:
+            return cached
+        spec = self._overrides.get(frozenset((a, b)))
+        if spec is None:
+            spec = self._default_path(self.sites[a], self.sites[b])
+        self._path_cache[(a, b)] = spec
+        return spec
 
     def _default_path(self, src: Site, dst: Site) -> PathSpec:
         window = min(src.tcp_window_bytes, dst.tcp_window_bytes)

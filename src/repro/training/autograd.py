@@ -9,7 +9,7 @@ nonlinearities and reductions.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.experiments import SweepGrid, SweepResult, run_sweep
+from repro.experiments import SweepGrid, run_sweep
 
 
 class TestSweepGrid:

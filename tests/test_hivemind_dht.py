@@ -1,7 +1,5 @@
 """Tests for the Kademlia-style DHT over the simulated fabric."""
 
-import pytest
-
 from repro.hivemind import DhtNetwork, DhtNode, node_id_for, xor_distance
 from repro.network import Fabric, build_topology
 from repro.simulation import Environment

@@ -1,7 +1,5 @@
 """Tests for the training monitor (DHT scraper)."""
 
-import pytest
-
 from repro.hivemind import (
     DhtNetwork,
     DhtNode,

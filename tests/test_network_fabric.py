@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.network import Fabric, GBPS, MBPS, Site, Topology
+from repro.network import Fabric, GBPS, Site, Topology
 from repro.simulation import Environment
 
 
