@@ -2,10 +2,11 @@
 
 Runs a fixed set of simulation workloads — the Figure 2 penalty study,
 the Figure 8 transatlantic and Figure 9 intercontinental geo fan-outs,
-a Section 7 spot-interruption run, and a telemetry-overhead probe — and
-writes a consolidated JSON result so every PR leaves a performance
-trajectory (``BENCH_PR2.json`` at the repo root is the committed
-baseline the CI ``bench`` job gates against).
+a Section 7 spot-interruption run, a fault-injected chaos run, and a
+telemetry-overhead probe — and writes a consolidated JSON result so
+every PR leaves a performance trajectory (``BENCH_PR3.json`` at the
+repo root is the committed baseline the CI ``bench`` job gates
+against).
 
 Result schema (``repro-bench/1``)::
 
@@ -90,6 +91,20 @@ def _spot_overrides() -> dict:
     return {"interruption_model": InterruptionModel(monthly_rate=0.9)}
 
 
+def _chaos_overrides() -> dict:
+    from .experiments import chaos_schedule_for
+
+    # This schedule lands a degradation, a partition, and a crash inside
+    # the run, so the fault-tolerant machinery — deadlines, transfer
+    # aborts, round retries, a degraded epoch, and a rejoin state-sync —
+    # is on the timed path.
+    return {
+        "fault_schedule": chaos_schedule_for(
+            "B-8", seed=0, intensity=2.0, horizon_s=450.0
+        ),
+    }
+
+
 def _build_suites() -> tuple[SuiteSpec, ...]:
     return (
         SuiteSpec(
@@ -120,6 +135,12 @@ def _build_suites() -> tuple[SuiteSpec, ...]:
             runs=(("B-8", "conv"),),
             quick_runs=(("B-8", "conv"),),
             overrides=_spot_overrides(),
+        ),
+        SuiteSpec(
+            name="chaos_faults",
+            runs=(("B-8", "conv"),),
+            quick_runs=(("B-8", "conv"),),
+            overrides=_chaos_overrides(),
         ),
         SuiteSpec(
             name="telemetry_overhead",

@@ -10,6 +10,8 @@ Usage::
     repro advise conv gc:us=8       # planner advice for a setup
     repro validate                  # paper-fidelity scorecard
     repro bench --quick             # curated perf suite (CI regression gate)
+    repro chaos B-8 --intensity 1.0 # fault-injected run (deterministic)
+    repro chaos B-8 --sweep 0.5,1,2 # fault intensity -> penalty sweep
 """
 
 from __future__ import annotations
@@ -209,6 +211,69 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-injection runs: single intensity or a resilience sweep."""
+    from .experiments import resilience_report, run_chaos
+    from .experiments.figures import Report
+    from .faults import FaultSchedule
+
+    _require_writable_dirs(
+        path for path in (args.output, args.save_schedule) if path
+    )
+    if args.sweep:
+        intensities = [float(tok) for tok in args.sweep.split(",")]
+        report = resilience_report(
+            args.experiment, args.model, intensities,
+            epochs=args.epochs, seed=args.seed, horizon_s=args.horizon,
+        )
+    else:
+        schedule = (
+            FaultSchedule.from_json(args.schedule) if args.schedule else None
+        )
+        result, schedule = run_chaos(
+            args.experiment, args.model, epochs=args.epochs,
+            intensity=args.intensity, seed=args.seed,
+            horizon_s=args.horizon, schedule=schedule,
+        )
+        if args.save_schedule:
+            schedule.to_json(args.save_schedule)
+            print(f"wrote {args.save_schedule}", file=sys.stderr)
+        fault_notes = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(result.fault_counts.items())
+        )
+        source = (
+            f"schedule {args.schedule}" if args.schedule
+            else f"seed {args.seed}, intensity {args.intensity}"
+        )
+        report = Report(
+            "chaos",
+            f"Fault-injected run ({args.experiment}, {args.model}, "
+            f"{source})",
+            rows=[{
+                "experiment": args.experiment,
+                "model": args.model,
+                "sps": round(result.throughput_sps, 1),
+                "epochs": len(result.epochs),
+                "retried": result.rounds_retried,
+                "degraded": result.degraded_epochs,
+                "interruptions": result.interruptions,
+                "state_syncs": result.state_syncs,
+                "aborted": result.transfers_aborted,
+                "faults": schedule.total_events,
+            }],
+            notes=[f"injected: {fault_notes}"],
+        )
+    output = _format_report(report, args.format)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(output)
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     rows = run_validation(epochs=args.epochs)
     print(render_scorecard(rows))
@@ -347,6 +412,35 @@ def main(argv: list[str] | None = None) -> int:
                        help="allowed normalized wall-time increase "
                             "(fraction, default 0.20)")
     bench.set_defaults(func=_cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run an experiment under deterministic fault injection",
+    )
+    chaos.add_argument("experiment", help="experiment key, e.g. B-8")
+    chaos.add_argument("--model", default="conv",
+                       help="model key (default conv)")
+    chaos.add_argument("--epochs", type=int, default=3)
+    chaos.add_argument("--intensity", type=float, default=0.5,
+                       help="expected fault density (0 disables; ~1 is "
+                            "a rough outage per 1-2h per category)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault schedule seed (schedules are "
+                            "deterministic in sites+seed+intensity)")
+    chaos.add_argument("--horizon", type=float, default=7200.0,
+                       help="schedule horizon in simulated seconds")
+    chaos.add_argument("--sweep",
+                       help="comma-separated intensities; renders the "
+                            "resilience sweep report instead of one run")
+    chaos.add_argument("--schedule",
+                       help="read a fault-schedule JSON instead of "
+                            "generating one")
+    chaos.add_argument("--save-schedule",
+                       help="write the generated schedule JSON here")
+    chaos.add_argument("--format", choices=("text", "csv", "json"),
+                       default="text")
+    chaos.add_argument("--output", help="write to a file instead of stdout")
+    chaos.set_defaults(func=_cmd_chaos)
 
     validate = sub.add_parser(
         "validate", help="check every paper anchor against the simulation"

@@ -3,6 +3,7 @@
 from .configs import EXPERIMENTS, ExperimentSpec, build_run_config, get_spec
 from .figures import REPORTS, Report, generate, render, report_keys
 from .replication import ReplicationSummary, replicate
+from .resilience import chaos_schedule_for, resilience_report, run_chaos
 from .report import (epoch_breakdown, report_to_markdown,
                      write_markdown_report)
 from .runner import ExperimentResult, centralized_baseline, run_experiment
@@ -36,6 +37,9 @@ __all__ = [
     "Report",
     "build_run_config",
     "centralized_baseline",
+    "chaos_schedule_for",
+    "resilience_report",
+    "run_chaos",
     "generate",
     "get_spec",
     "render",

@@ -1,0 +1,31 @@
+"""Deterministic fault injection: schedules, injector, survival policy.
+
+See :mod:`repro.faults.schedule` for the fault vocabulary and seeded
+schedule generation, and :mod:`repro.faults.injector` for the process
+that applies a schedule to a live simulation.
+"""
+
+from .injector import PARTITION_FLOOR_BPS, FaultInjector
+from .schedule import (
+    FAULT_SCHEDULE_SCHEMA,
+    ComputeFault,
+    CrashFault,
+    FaultSchedule,
+    FaultTolerance,
+    LinkFault,
+    ZoneOutage,
+    generate_schedule,
+)
+
+__all__ = [
+    "ComputeFault",
+    "CrashFault",
+    "FAULT_SCHEDULE_SCHEMA",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultTolerance",
+    "LinkFault",
+    "PARTITION_FLOOR_BPS",
+    "ZoneOutage",
+    "generate_schedule",
+]

@@ -1,0 +1,368 @@
+"""Deterministic fault schedules: what goes wrong, where, and when.
+
+A :class:`FaultSchedule` is a plain, serializable description of every
+injected fault in a run — link degradation windows (bandwidth drop,
+RTT spike), hard partitions (capacity to zero), per-site compute
+stragglers, mid-round peer crashes, and correlated zone-wide outages.
+Schedules are data, not behaviour: the :class:`~repro.faults.injector.
+FaultInjector` walks one against a live simulation.
+
+Schedules can be written by hand, loaded from JSON (``repro chaos
+--schedule faults.json``), or generated from a seed with
+:func:`generate_schedule`, whose single ``intensity`` knob scales every
+event rate. The generator draws from its own ``numpy`` generator in a
+fixed order, so the same ``(sites, seed, intensity, horizon)`` always
+yields the same schedule — the contract behind the chaos CI smoke job
+(two identically-seeded chaos runs must be byte-identical).
+
+:class:`FaultTolerance` lives here too: the client-side survival
+policy (averaging round deadlines and retries, DHT RPC retry budget)
+that consumers apply when a schedule — or an explicit policy — is
+configured on :class:`~repro.hivemind.run.HivemindRunConfig`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "LinkFault",
+    "ComputeFault",
+    "CrashFault",
+    "ZoneOutage",
+    "FaultSchedule",
+    "FaultTolerance",
+    "generate_schedule",
+    "FAULT_SCHEDULE_SCHEMA",
+]
+
+FAULT_SCHEDULE_SCHEMA = "repro-faults/1"
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A window during which one site pair's path is degraded.
+
+    ``bandwidth_factor`` scales the path capacity (0 means a hard
+    partition — the injector floors the capacity at a crawl rather
+    than zero so in-flight flows stay well-defined); ``rtt_factor``
+    scales the round-trip time. Overlapping windows on the same pair
+    compose multiplicatively.
+    """
+
+    start_s: float
+    duration_s: float
+    a: str
+    b: str
+    bandwidth_factor: float = 1.0
+    rtt_factor: float = 1.0
+
+    def __post_init__(self):
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValueError("link fault needs start_s >= 0, duration_s > 0")
+        if self.bandwidth_factor < 0 or self.rtt_factor <= 0:
+            raise ValueError(
+                "bandwidth_factor must be >= 0 and rtt_factor > 0"
+            )
+        if self.a == self.b:
+            raise ValueError("link fault endpoints must differ")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    @property
+    def is_partition(self) -> bool:
+        return self.bandwidth_factor <= 0.0
+
+
+@dataclass(frozen=True)
+class ComputeFault:
+    """A straggler window: one site's compute rate is multiplied by
+    ``rate_factor`` (overlaps compose multiplicatively)."""
+
+    start_s: float
+    duration_s: float
+    site: str
+    rate_factor: float = 0.5
+
+    def __post_init__(self):
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValueError(
+                "compute fault needs start_s >= 0, duration_s > 0"
+            )
+        if not 0.0 < self.rate_factor <= 1.0:
+            raise ValueError("rate_factor must be in (0, 1]")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """A mid-round peer crash: the VM at ``site`` is force-preempted."""
+
+    start_s: float
+    site: str
+
+    def __post_init__(self):
+        if self.start_s < 0:
+            raise ValueError("crash fault needs start_s >= 0")
+
+
+@dataclass(frozen=True)
+class ZoneOutage:
+    """A correlated capacity crunch: every live peer in ``zone`` is
+    preempted at once (the zone-wide reclamation bursts the paper's
+    spot model hints at)."""
+
+    start_s: float
+    zone: str
+
+    def __post_init__(self):
+        if self.start_s < 0:
+            raise ValueError("zone outage needs start_s >= 0")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable collection of scheduled faults."""
+
+    link_faults: tuple[LinkFault, ...] = ()
+    compute_faults: tuple[ComputeFault, ...] = ()
+    crash_faults: tuple[CrashFault, ...] = ()
+    zone_outages: tuple[ZoneOutage, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not (self.link_faults or self.compute_faults
+                    or self.crash_faults or self.zone_outages)
+
+    @property
+    def total_events(self) -> int:
+        return (len(self.link_faults) + len(self.compute_faults)
+                + len(self.crash_faults) + len(self.zone_outages))
+
+    def sites(self) -> set[str]:
+        """Every site named by the schedule (zones excluded)."""
+        named: set[str] = set()
+        for fault in self.link_faults:
+            named.add(fault.a)
+            named.add(fault.b)
+        for fault in self.compute_faults:
+            named.add(fault.site)
+        for fault in self.crash_faults:
+            named.add(fault.site)
+        return named
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": FAULT_SCHEDULE_SCHEMA,
+            "link_faults": [asdict(f) for f in self.link_faults],
+            "compute_faults": [asdict(f) for f in self.compute_faults],
+            "crash_faults": [asdict(f) for f in self.crash_faults],
+            "zone_outages": [asdict(f) for f in self.zone_outages],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultSchedule":
+        schema = doc.get("schema", FAULT_SCHEDULE_SCHEMA)
+        if schema != FAULT_SCHEDULE_SCHEMA:
+            raise ValueError(
+                f"unsupported fault schedule schema {schema!r}; "
+                f"expected {FAULT_SCHEDULE_SCHEMA!r}"
+            )
+        return cls(
+            link_faults=tuple(
+                LinkFault(**f) for f in doc.get("link_faults", ())
+            ),
+            compute_faults=tuple(
+                ComputeFault(**f) for f in doc.get("compute_faults", ())
+            ),
+            crash_faults=tuple(
+                CrashFault(**f) for f in doc.get("crash_faults", ())
+            ),
+            zone_outages=tuple(
+                ZoneOutage(**f) for f in doc.get("zone_outages", ())
+            ),
+        )
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_json(cls, path: str) -> "FaultSchedule":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+@dataclass(frozen=True)
+class FaultTolerance:
+    """Client-side survival policy for averaging rounds and DHT RPCs.
+
+    The averaging deadline is ``deadline_factor`` times the expected
+    round wall time (an EMA of completed rounds, seeded from a
+    topology-based estimate), clamped to ``[min_deadline_s,
+    max_deadline_s]`` — the upper clamp matters under partitions, where
+    the degraded path capacity would otherwise inflate the estimate to
+    the point that the deadline never fires.
+    """
+
+    #: Round deadline as a multiple of the expected round wall time.
+    deadline_factor: float = 3.0
+    min_deadline_s: float = 30.0
+    max_deadline_s: float = 600.0
+    #: Full-round retries (abort, regroup survivors, resend) before
+    #: degrading to a partial average.
+    max_round_retries: int = 2
+    retry_backoff_s: float = 2.0
+    backoff_factor: float = 2.0
+    #: DHT RPC retry budget on top of the dead-peer timeout.
+    dht_max_retries: int = 2
+    dht_backoff_s: float = 1.0
+    #: Transport timeout per DHT RPC leg; ``None`` disables (legacy
+    #: behaviour: an RPC waits forever on a stalled link).
+    dht_rpc_timeout_s: Optional[float] = 15.0
+
+    def __post_init__(self):
+        if self.deadline_factor <= 0:
+            raise ValueError("deadline_factor must be > 0")
+        if not 0 < self.min_deadline_s <= self.max_deadline_s:
+            raise ValueError(
+                "need 0 < min_deadline_s <= max_deadline_s"
+            )
+        if self.max_round_retries < 0 or self.dht_max_retries < 0:
+            raise ValueError("retry counts must be >= 0")
+        if self.retry_backoff_s < 0 or self.dht_backoff_s < 0:
+            raise ValueError("backoffs must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.dht_rpc_timeout_s is not None and self.dht_rpc_timeout_s <= 0:
+            raise ValueError("dht_rpc_timeout_s must be positive or None")
+
+
+# -- seeded generation -----------------------------------------------------
+
+#: Mean inter-event spacing (seconds of horizon per expected event at
+#: intensity 1.0) for each fault kind. Degradations are the most
+#: frequent, zone outages the rarest — roughly matching the relative
+#: frequencies of transient WAN trouble vs. correlated spot
+#: reclamations in the systems the paper builds on.
+_EVENT_SPACING_S = {
+    "degradation": 900.0,
+    "partition": 2400.0,
+    "straggler": 1200.0,
+    "crash": 1800.0,
+    "zone_outage": 7200.0,
+}
+
+
+def generate_schedule(
+    sites: list[str],
+    *,
+    seed: int = 0,
+    intensity: float = 0.5,
+    horizon_s: float = 7200.0,
+    zones: Optional[dict[str, str]] = None,
+) -> FaultSchedule:
+    """Draw a deterministic schedule over ``[0, horizon_s]``.
+
+    ``intensity`` linearly scales the expected event count of every
+    fault kind (0 yields an empty schedule, 1.0 is a hostile
+    environment, values above 1 are allowed). ``zones`` maps each site
+    to its zone; zone outages are only generated when it is provided
+    and at least one zone holds two or more sites (a one-site "zone
+    outage" is just a crash, and crashes are drawn separately).
+
+    Determinism: draws happen in a fixed order from a dedicated
+    ``default_rng(seed)``, so the schedule is a pure function of the
+    arguments.
+    """
+    if intensity < 0:
+        raise ValueError("intensity must be >= 0")
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be > 0")
+    sites = list(sites)
+    rng = np.random.default_rng(seed)
+    pairs = [
+        (a, b)
+        for index, a in enumerate(sites)
+        for b in sites[index + 1:]
+    ]
+
+    def count(kind: str) -> int:
+        if intensity == 0:
+            return 0
+        return int(rng.poisson(intensity * horizon_s
+                               / _EVENT_SPACING_S[kind]))
+
+    link_faults: list[LinkFault] = []
+    if pairs:
+        for __ in range(count("degradation")):
+            start = float(rng.uniform(0.0, horizon_s))
+            duration = float(rng.exponential(180.0)) + 10.0
+            a, b = pairs[int(rng.integers(len(pairs)))]
+            bandwidth = float(rng.uniform(0.05, 0.5))
+            rtt = float(rng.uniform(1.0, 4.0))
+            link_faults.append(LinkFault(
+                start_s=round(start, 3), duration_s=round(duration, 3),
+                a=a, b=b, bandwidth_factor=round(bandwidth, 4),
+                rtt_factor=round(rtt, 4),
+            ))
+        for __ in range(count("partition")):
+            start = float(rng.uniform(0.0, horizon_s))
+            duration = float(rng.exponential(90.0)) + 10.0
+            a, b = pairs[int(rng.integers(len(pairs)))]
+            link_faults.append(LinkFault(
+                start_s=round(start, 3), duration_s=round(duration, 3),
+                a=a, b=b, bandwidth_factor=0.0, rtt_factor=1.0,
+            ))
+    compute_faults: list[ComputeFault] = []
+    for __ in range(count("straggler")):
+        start = float(rng.uniform(0.0, horizon_s))
+        duration = float(rng.exponential(300.0)) + 10.0
+        site = sites[int(rng.integers(len(sites)))]
+        factor = float(rng.uniform(0.1, 0.6))
+        compute_faults.append(ComputeFault(
+            start_s=round(start, 3), duration_s=round(duration, 3),
+            site=site, rate_factor=round(factor, 4),
+        ))
+    crash_faults: list[CrashFault] = []
+    for __ in range(count("crash")):
+        start = float(rng.uniform(0.0, horizon_s))
+        site = sites[int(rng.integers(len(sites)))]
+        crash_faults.append(CrashFault(start_s=round(start, 3), site=site))
+    zone_outages: list[ZoneOutage] = []
+    if zones:
+        shared: dict[str, int] = {}
+        for site in sites:
+            zone = zones.get(site)
+            if zone is not None:
+                shared[zone] = shared.get(zone, 0) + 1
+        eligible = sorted(zone for zone, n in shared.items() if n >= 2)
+        if eligible:
+            for __ in range(count("zone_outage")):
+                start = float(rng.uniform(0.0, horizon_s))
+                zone = eligible[int(rng.integers(len(eligible)))]
+                zone_outages.append(
+                    ZoneOutage(start_s=round(start, 3), zone=zone)
+                )
+    return FaultSchedule(
+        link_faults=tuple(sorted(link_faults,
+                                 key=lambda f: (f.start_s, f.a, f.b))),
+        compute_faults=tuple(sorted(compute_faults,
+                                    key=lambda f: (f.start_s, f.site))),
+        crash_faults=tuple(sorted(crash_faults,
+                                  key=lambda f: (f.start_s, f.site))),
+        zone_outages=tuple(sorted(zone_outages,
+                                  key=lambda f: (f.start_s, f.zone))),
+    )

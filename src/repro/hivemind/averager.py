@@ -33,7 +33,7 @@ from typing import Optional
 import numpy as np
 
 from ..network import Fabric
-from ..simulation import Environment, Event
+from ..simulation import Environment, Event, Interrupt
 from ..telemetry import NULL_TELEMETRY
 from .compression import compress, compressed_nbytes, decompress
 from .matchmaking import GroupPlan
@@ -68,6 +68,14 @@ class AveragingResult:
     wall_time_s: float
     stage_times_s: dict[str, float] = field(default_factory=dict)
     bytes_sent: float = 0.0
+    #: Full-round retries the fault-tolerant path needed (0 = clean).
+    retries: int = 0
+    #: True when the round gave up on full participation and fell back
+    #: to a partial average over the surviving peers.
+    degraded: bool = False
+    #: Sites whose contributions were dropped (dead at round start or
+    #: lost during it).
+    dropped_peers: tuple[str, ...] = ()
 
 
 class MoshpitAverager:
@@ -82,6 +90,7 @@ class MoshpitAverager:
         codec: str = "fp16",
         stream_caps_bps: Optional[dict[str, float]] = None,
         telemetry=None,
+        fault_tolerance=None,
     ):
         self.env = env
         self.fabric = fabric
@@ -90,6 +99,19 @@ class MoshpitAverager:
         self.parameter_count = parameter_count
         self.codec = codec
         self.payload_bytes = compressed_nbytes(parameter_count, codec)
+        #: ``FaultTolerance`` policy; ``None`` keeps the legacy
+        #: all-or-nothing round (no deadline, no retries).
+        self.fault_tolerance = fault_tolerance
+        #: Callback ``site -> bool`` consulted by the fault-tolerant
+        #: path to drop dead peers before and between attempts.
+        self._liveness = None
+        #: Pending abort signal of the in-flight attempt, fired by
+        #: :meth:`notify_peer_down` (round restarts without waiting for
+        #: the deadline when a participant dies).
+        self._abort_event: Optional[Event] = None
+        self._attempt_sites: frozenset[str] = frozenset()
+        #: EMA of recent successful round walls, seeding the deadline.
+        self._round_ema: Optional[float] = None
         stream_caps_bps = stream_caps_bps or {}
         # The serialization budget is full duplex: sending and receiving
         # each get the measured per-VM cap (~1.1 Gb/s on A10 hosts).
@@ -116,14 +138,8 @@ class MoshpitAverager:
             src, dst, nbytes, tag="averaging", channels=self._channels(src, dst)
         )
 
-    # -- the averaging round -------------------------------------------------
-
-    def run_round(self, contributions: list[Contribution]):
-        """Simulation process performing one full averaging round."""
-        if not contributions:
-            raise ValueError("averaging round needs at least one contribution")
-        start = self.env.now
-        present = {c.site for c in contributions}
+    def _plan_for(self, present: set) -> tuple[list, tuple]:
+        """Restrict the static group plan to the present sites."""
         groups = [
             tuple(site for site in group if site in present)
             for group in self.plan.groups
@@ -134,6 +150,44 @@ class MoshpitAverager:
             hub = tuple(hub_sites)
         else:
             hub = max(groups, key=len)
+        return groups, hub
+
+    # -- fault-tolerance wiring --------------------------------------------
+
+    def set_liveness(self, liveness) -> None:
+        """Install the ``site -> bool`` probe used to drop dead peers."""
+        self._liveness = liveness
+
+    def notify_peer_down(self, site: str) -> None:
+        """Signal that a participant of the in-flight attempt died;
+        the fault-tolerant round aborts and regroups immediately
+        instead of waiting out the deadline. No-op for bystanders."""
+        abort = self._abort_event
+        if (abort is not None and not abort.triggered
+                and site in self._attempt_sites):
+            abort.succeed(site)
+
+    # -- the averaging round -------------------------------------------------
+
+    def run_round(self, contributions: list[Contribution]):
+        """Simulation process performing one full averaging round.
+
+        Without a :attr:`fault_tolerance` policy this is the legacy
+        all-or-nothing round. With one, the round runs under a
+        deadline, aborts in-flight transfers on timeout or peer loss,
+        re-forms groups from survivors with exponential backoff, and
+        finally degrades to a partial average.
+        """
+        if not contributions:
+            raise ValueError("averaging round needs at least one contribution")
+        if self.fault_tolerance is None:
+            return (yield from self._run_round_once(contributions))
+        return (yield from self._run_round_resilient(contributions))
+
+    def _run_round_once(self, contributions: list[Contribution]):
+        start = self.env.now
+        present = {c.site for c in contributions}
+        groups, hub = self._plan_for(present)
         stage_times: dict[str, float] = {}
         tel = self.telemetry
 
@@ -183,7 +237,204 @@ class MoshpitAverager:
             bytes_sent=bytes_sent,
         )
 
-    def _intra_stage(self, groups: list[tuple[str, ...]]):
+    # -- fault-tolerant round ----------------------------------------------
+
+    def _run_round_resilient(self, contributions: list[Contribution]):
+        ft = self.fault_tolerance
+        tel = self.telemetry
+        env = self.env
+        start = env.now
+        pool = list(contributions)
+        dropped: list[str] = []
+        retries = 0
+        while True:
+            if self._liveness is not None:
+                alive, dead = [], []
+                for c in pool:
+                    (alive if self._liveness(c.site) else dead).append(c)
+                pool = alive
+                dropped.extend(c.site for c in dead)
+            if not pool:
+                # Everyone died; there is nothing left to average.
+                if tel.enabled:
+                    tel.counter("averaging_degraded_total",
+                                "Averaging rounds degraded to a partial "
+                                "average").inc()
+                return AveragingResult(
+                    average=None, total_samples=0,
+                    wall_time_s=env.now - start, retries=retries,
+                    degraded=True, dropped_peers=tuple(dropped),
+                )
+            sites = [c.site for c in pool]
+            deadline_s = self._round_deadline_s(sites)
+            self._attempt_sites = frozenset(sites)
+            abort = Event(env)
+            self._abort_event = abort
+            attempt = env.process(self._attempt_round(pool, retries))
+            timer = env.timeout(deadline_s)
+            yield env.any_of([attempt, abort, timer])
+            self._abort_event = None
+            if attempt.triggered and attempt.ok and attempt.value is not None:
+                result = attempt.value
+                # The deadline EMA tracks the attempt's own duration;
+                # the reported wall covers the whole round including
+                # failed attempts and backoff.
+                self._update_round_estimate(result.wall_time_s)
+                result.wall_time_s = env.now - start
+                result.retries = retries
+                result.dropped_peers = tuple(dropped)
+                if tel.enabled and retries:
+                    tel.counter("averaging_retries_total",
+                                "Full averaging-round retries").inc(retries)
+                return result
+            reason = "peer-loss" if abort.triggered else "deadline"
+            if attempt.is_alive:
+                attempt.interrupt(reason)
+                try:
+                    yield attempt
+                except Interrupt:
+                    # The attempt never got to run (interrupted before
+                    # its first resume): the Interrupt passes through
+                    # the unstarted generator and lands here instead.
+                    pass
+            retries += 1
+            if retries > ft.max_round_retries:
+                survivors = pool
+                if self._liveness is not None:
+                    survivors = [c for c in pool if self._liveness(c.site)]
+                    dropped.extend(c.site for c in pool
+                                   if not self._liveness(c.site))
+                average = (self._numeric_average(survivors)
+                           if survivors else None)
+                total = sum(c.sample_count for c in survivors)
+                if tel.enabled:
+                    tel.counter("averaging_retries_total",
+                                "Full averaging-round retries").inc(retries)
+                    tel.counter("averaging_degraded_total",
+                                "Averaging rounds degraded to a partial "
+                                "average").inc()
+                return AveragingResult(
+                    average=average, total_samples=total,
+                    wall_time_s=env.now - start, retries=retries,
+                    degraded=True, dropped_peers=tuple(dropped),
+                )
+            yield env.timeout(
+                ft.retry_backoff_s * ft.backoff_factor ** (retries - 1)
+            )
+
+    def _attempt_round(self, contributions: list[Contribution],
+                       attempt_index: int):
+        """One deadline-bounded attempt; returns an
+        :class:`AveragingResult` or ``None`` when interrupted (in which
+        case all in-flight transfers are aborted on the way out)."""
+        env = self.env
+        tel = self.telemetry
+        start = env.now
+        present = {c.site for c in contributions}
+        groups, hub = self._plan_for(present)
+        stage_times: dict[str, float] = {}
+        inflight: list[Event] = []
+        # The AllOf the attempt is currently blocked on, boxed so the
+        # Interrupt handler can defuse it: once failing sub-events stop
+        # being observed by a waiting process, the condition must not
+        # surface the failure at env.step().
+        gate: list[Optional[Event]] = [None]
+        try:
+            with tel.span("averaging_round", category="transfer",
+                          track="averager", peers=len(present),
+                          attempt=attempt_index):
+                stage_start = env.now
+                with tel.span("reduce_scatter", category="transfer",
+                              track="averager"):
+                    yield from self._staged(
+                        self._intra_transfers(groups), inflight, gate)
+                stage_times["reduce_scatter"] = env.now - stage_start
+                stage_start = env.now
+                if len(groups) > 1:
+                    with tel.span("hub_exchange", category="transfer",
+                                  track="averager"):
+                        yield from self._staged(
+                            self._hub_transfers(groups, hub), inflight, gate)
+                stage_times["hub_exchange"] = env.now - stage_start
+                stage_start = env.now
+                with tel.span("all_gather", category="transfer",
+                              track="averager"):
+                    yield from self._staged(
+                        self._intra_transfers(groups), inflight, gate)
+                stage_times["all_gather"] = env.now - stage_start
+        except Interrupt:
+            pending = gate[0]
+            if pending is not None and not pending.triggered:
+                pending.defused = True
+            for done in inflight:
+                self.fabric.abort(done, reason="round-abort")
+            return None
+        average = self._numeric_average(contributions)
+        total = sum(c.sample_count for c in contributions)
+        wall = env.now - start
+        bytes_sent = self._round_bytes(groups, hub)
+        if tel.enabled:
+            tel.counter("averaging_rounds_total",
+                        "Moshpit averaging rounds completed").inc()
+            tel.histogram("averaging_round_seconds",
+                          "Wall time of each averaging round").observe(wall)
+            tel.counter("averaging_bytes_total",
+                        "Bytes shipped by the averager").inc(bytes_sent)
+        return AveragingResult(
+            average=average, total_samples=total, wall_time_s=wall,
+            stage_times_s=stage_times, bytes_sent=bytes_sent,
+        )
+
+    def _staged(self, transfers: list[Event], inflight: list[Event],
+                gate: list):
+        """Run one stage's transfers, tracking them for abort."""
+        if not transfers:
+            return
+        inflight.extend(transfers)
+        cond = self.env.all_of(transfers)
+        gate[0] = cond
+        yield cond
+        gate[0] = None
+        inflight.clear()
+
+    def _round_deadline_s(self, sites: list[str]) -> float:
+        ft = self.fault_tolerance
+        expected = self._round_ema
+        if expected is None:
+            expected = self._estimate_round_s(sites)
+        return min(
+            max(ft.min_deadline_s, ft.deadline_factor * expected),
+            ft.max_deadline_s,
+        )
+
+    def _estimate_round_s(self, sites: list[str]) -> float:
+        """Topology-based first guess at a round's wall time: three
+        stages bounded by the worst pairwise single-stream transfer.
+        (Deliberately coarse — the EMA takes over after one success,
+        and the policy clamps whatever comes out.)"""
+        worst = 0.0
+        topology = self.fabric.topology
+        for i, a in enumerate(sites):
+            for b in sites[i + 1:]:
+                path = topology.path(a, b)
+                bps = path.single_stream_bps
+                if bps <= 0:
+                    continue
+                worst = max(worst,
+                            self.payload_bytes * 8.0 / bps + path.rtt_s)
+        return 3.0 * worst if worst > 0 else 60.0
+
+    def _update_round_estimate(self, wall_s: float) -> None:
+        if wall_s <= 0:
+            return
+        if self._round_ema is None:
+            self._round_ema = wall_s
+        else:
+            self._round_ema = 0.5 * self._round_ema + 0.5 * wall_s
+
+    # -- stage transfer builders -------------------------------------------
+
+    def _intra_transfers(self, groups: list[tuple[str, ...]]) -> list[Event]:
         transfers = []
         for group in groups:
             g = len(group)
@@ -194,11 +445,10 @@ class MoshpitAverager:
                 for dst in group:
                     if src != dst:
                         transfers.append(self._send(src, dst, chunk))
-        if transfers:
-            yield self.env.all_of(transfers)
+        return transfers
 
-    def _hub_stage(self, groups, hub):
-        """Exchange group aggregates with the hub group.
+    def _hub_transfers(self, groups, hub) -> list[Event]:
+        """Group-aggregate exchange with the hub group.
 
         Hivemind opens one TCP stream per peer (Section 7), so the
         payload is chunked across ``max(|G|, |hub|)`` member pairs —
@@ -218,6 +468,15 @@ class MoshpitAverager:
                 dst = hub[k % len(hub)]
                 transfers.append(self._send(src, dst, chunk))
                 transfers.append(self._send(dst, src, chunk))
+        return transfers
+
+    def _intra_stage(self, groups: list[tuple[str, ...]]):
+        transfers = self._intra_transfers(groups)
+        if transfers:
+            yield self.env.all_of(transfers)
+
+    def _hub_stage(self, groups, hub):
+        transfers = self._hub_transfers(groups, hub)
         if transfers:
             yield self.env.all_of(transfers)
 

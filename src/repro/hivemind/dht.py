@@ -77,18 +77,48 @@ class RoutingTable:
         return sum(len(bucket) for bucket in self._buckets.values())
 
 
-class DhtNetwork:
-    """Transport + registry; RPCs travel through the fabric."""
+#: Internal marker distinguishing "this attempt failed, retry" from a
+#: legitimate ``None``-ish RPC response.
+_RPC_FAILED = object()
 
-    def __init__(self, env: Environment, fabric: Fabric, telemetry=None):
+
+class DhtNetwork:
+    """Transport + registry; RPCs travel through the fabric.
+
+    With the default policy (``max_retries=0``, ``rpc_timeout_s=None``)
+    behaviour is exactly the legacy one: a single attempt whose
+    transfers wait forever. Fault-tolerant runs enable a bounded
+    retry-with-backoff on top of the dead-peer timeout, plus a
+    per-attempt transport timeout that aborts the in-flight transfer.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        telemetry=None,
+        max_retries: int = 0,
+        retry_backoff_s: float = 1.0,
+        backoff_factor: float = 2.0,
+        rpc_timeout_s: Optional[float] = None,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.env = env
         self.fabric = fabric
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.backoff_factor = backoff_factor
+        self.rpc_timeout_s = rpc_timeout_s
         self._ops_counter = self.telemetry.counter(
             "dht_ops_total", "DHT RPCs issued, by method"
         )
         self._timeout_counter = self.telemetry.counter(
             "dht_timeouts_total", "DHT RPCs that hit a dead peer"
+        )
+        self._retries_counter = self.telemetry.counter(
+            "dht_retries_total", "DHT RPC attempts beyond the first"
         )
         #: Bound span factory + per-method interned span names and
         #: counter children: RPCs are the most frequent instrumented
@@ -107,7 +137,8 @@ class DhtNetwork:
 
     def rpc(self, src: "DhtNode", dst_id: int, method: str, *args):
         """Round-trip RPC as a simulation process; returns the response
-        or ``None`` when the destination is gone (dead-peer timeout)."""
+        or ``None`` once the retry budget is exhausted (dead peer, or
+        transport timeouts when ``rpc_timeout_s`` is set)."""
         self.rpc_count += 1
         cached = self._per_method.get(method)
         if cached is None:
@@ -117,22 +148,58 @@ class DhtNetwork:
             )
         name, ops_child = cached
         ops_child.inc()
-        dst = self.nodes.get(dst_id)
-        if dst is None or not dst.alive:
-            self._timeout_counter.inc(method=method)
-            yield self.env.timeout(_RPC_TIMEOUT_S)
-            return None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self._retries_counter.inc(method=method)
+                yield self.env.timeout(
+                    self.retry_backoff_s
+                    * self.backoff_factor ** (attempt - 1)
+                )
+            # Re-resolve each attempt: the peer may have died — or
+            # rejoined — while we were backing off.
+            dst = self.nodes.get(dst_id)
+            if dst is None or not dst.alive:
+                self._timeout_counter.inc(method=method)
+                yield self.env.timeout(_RPC_TIMEOUT_S)
+                continue
+            response = yield from self._attempt(src, dst, name, method, args)
+            if response is not _RPC_FAILED:
+                return response
+        return None
+
+    def _attempt(self, src: "DhtNode", dst: "DhtNode", name: str,
+                 method: str, args: tuple):
+        """One round trip; returns the response or ``_RPC_FAILED`` when
+        a transport timeout cancelled a leg."""
+        timeout_s = self.rpc_timeout_s
         with self._span(name, category="dht", track=src.site, dst=dst.site):
-            yield self.fabric.transfer(src.site, dst.site, _RPC_BYTES,
-                                       tag="dht")
+            request = self.fabric.transfer(src.site, dst.site, _RPC_BYTES,
+                                           tag="dht")
+            if timeout_s is None:
+                yield request
+            else:
+                yield self.env.any_of([request,
+                                       self.env.timeout(timeout_s)])
+                if not request.triggered:
+                    self.fabric.abort(request, reason="dht-timeout")
+                    self._timeout_counter.inc(method=method)
+                    return _RPC_FAILED
             handler = dst._handler_cache.get(method)
             if handler is None:
                 handler = dst._handler_cache[method] = getattr(
                     dst, f"handle_{method}"
                 )
             response = handler(src, *args)
-            yield self.fabric.transfer(dst.site, src.site, _RPC_BYTES,
-                                       tag="dht")
+            reply = self.fabric.transfer(dst.site, src.site, _RPC_BYTES,
+                                         tag="dht")
+            if timeout_s is None:
+                yield reply
+            else:
+                yield self.env.any_of([reply, self.env.timeout(timeout_s)])
+                if not reply.triggered:
+                    self.fabric.abort(reply, reason="dht-timeout")
+                    self._timeout_counter.inc(method=method)
+                    return _RPC_FAILED
         dst.routing.add(src.contact)
         return response
 
@@ -172,6 +239,17 @@ class DhtNode:
         """Drop out of the network (spot interruption)."""
         self.alive = False
         self.network.unregister(self.node_id)
+
+    def rejoin(self, bootstrap: Optional["DhtNode"]):
+        """Come back after a :meth:`leave` with a cold routing table
+        and an empty store (the replacement VM has fresh state), then
+        re-run the join procedure."""
+        self.alive = True
+        self._store.clear()
+        self.routing = RoutingTable(self.node_id, k=self.k)
+        self.network.register(self)
+        yield from self.join(bootstrap)
+        return self
 
     # -- RPC handlers (executed at the remote node) -------------------------
 

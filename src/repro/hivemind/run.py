@@ -21,10 +21,11 @@ import numpy as np
 
 from ..cloud import InterruptionModel, SpotFleet, get_instance_type
 from ..data import StoreLink, get_dataset
+from ..faults import FaultInjector, FaultSchedule, FaultTolerance
 from ..hardware import get_gpu, local_sps
 from ..models import get_model
 from ..network import Fabric, Topology
-from ..simulation import Environment, RandomStreams
+from ..simulation import Environment, Event, RandomStreams
 from ..telemetry import resolve_telemetry
 from ..training import MLP, SGD, compute_gradient, make_classification_data
 from .averager import Contribution, MoshpitAverager
@@ -101,8 +102,18 @@ class HivemindRunConfig:
     numeric: Optional[NumericConfig] = None
     interruption_model: Optional[InterruptionModel] = None
     startup_s: float = 120.0
-    resync_s: float = 60.0
     monitor_interval_s: Optional[float] = 25.0
+    #: Deterministic chaos: a :class:`repro.faults.FaultSchedule` to
+    #: inject during the run (link degradation, partitions, stragglers,
+    #: crashes, zone outages). ``None`` disables injection entirely.
+    fault_schedule: Optional[FaultSchedule] = None
+    #: Survival policy for averaging rounds and DHT RPCs. Defaults to
+    #: ``FaultTolerance()`` when a schedule is set, else legacy
+    #: (no deadlines, no retries) behaviour.
+    fault_tolerance: Optional[FaultTolerance] = None
+    #: Probability that a preemption cascades to each other live VM in
+    #: the same zone (correlated capacity crunch; 0 = independent).
+    zone_correlation: float = 0.0
     #: When set, sample system metrics (egress, live peers, progress)
     #: every interval — the paper logs system metrics every second.
     metrics_interval_s: Optional[float] = None
@@ -143,6 +154,10 @@ class EpochStats:
     samples: int
     live_peers: int
     loss: Optional[float] = None
+    #: Averaging-round retries this epoch needed (fault-tolerant runs).
+    rounds_retried: int = 0
+    #: True when the epoch's round fell back to a partial average.
+    degraded: bool = False
 
     @property
     def comm_s(self) -> float:
@@ -174,6 +189,15 @@ class RunResult:
     #: The telemetry sink the run recorded into (``None`` when tracing
     #: was disabled); carries the tracer and the metrics registry.
     telemetry: Optional[object] = None
+    #: Total averaging-round retries across all epochs.
+    rounds_retried: int = 0
+    #: Epochs whose averaging round degraded to a partial average.
+    degraded_epochs: int = 0
+    #: Fabric transfers cancelled mid-flight (round aborts, RPC
+    #: timeouts).
+    transfers_aborted: int = 0
+    #: Injected faults by kind (empty when no schedule was configured).
+    fault_counts: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_samples(self) -> int:
@@ -266,6 +290,16 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
     fabric = Fabric(env, config.topology, telemetry=tel)
     streams = RandomStreams(config.seed)
 
+    schedule = config.fault_schedule
+    if schedule is not None and schedule.empty:
+        schedule = None
+    ft = config.fault_tolerance
+    if ft is None and schedule is not None:
+        ft = FaultTolerance()
+    #: Chaos mode: the fault-tolerant consumer paths (round deadlines,
+    #: DHT retries, DHT leave/rejoin on preemption) are active.
+    chaos = ft is not None
+
     sites = [peer.site for peer in config.peers]
     rates = {
         peer.site: local_sps(peer.gpu, model) for peer in config.peers
@@ -283,6 +317,7 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
         codec=config.codec,
         stream_caps_bps=caps,
         telemetry=tel,
+        fault_tolerance=ft,
     )
 
     links: dict[str, StoreLink] = {}
@@ -297,7 +332,21 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
     #: because averaging keeps the network busy).
     synced: set[str] = set(sites)
     state_syncs = [0]
-    if config.interruption_model is not None:
+    #: One-shot event waiters block on when no peer is live; re-armed
+    #: on every wake so each all-dead episode gets a fresh signal.
+    rejoin_signal: list[Event] = [Event(env)]
+
+    def wake_rejoin_waiters() -> None:
+        signal, rejoin_signal[0] = rejoin_signal[0], Event(env)
+        signal.succeed()
+
+    #: Crash/zone-outage faults need force-preemptible slots even when
+    #: no stochastic interruption model is configured.
+    needs_fleet = config.interruption_model is not None or (
+        schedule is not None
+        and bool(schedule.crash_faults or schedule.zone_outages)
+    )
+    if needs_fleet:
         fleet = SpotFleet(
             env,
             streams.stream("interruptions"),
@@ -307,11 +356,19 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
             ],
             interruption_model=config.interruption_model,
             startup_s=config.startup_s,
-            resync_s=0.0,  # replaced by the explicit state transfer
             telemetry=tel,
+            allow_forced=schedule is not None,
+            zone_correlation=config.zone_correlation,
+            zone_of=lambda s: config.topology.get(s).zone,
         )
 
         def resync(site: str):
+            if chaos:
+                # The replacement VM rejoins the DHT cold before it can
+                # participate again.
+                node = dht_nodes[site]
+                if not node.alive:
+                    yield from node.rejoin(coordinator_node)
             donors = [s for s in synced if s != site]
             if donors:
                 donor = min(
@@ -326,10 +383,16 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
                 tel.counter("state_syncs_total",
                             "Model-state downloads after rejoin").inc()
             synced.add(site)
+            wake_rejoin_waiters()
 
         def on_fleet_event(event):
             if not event.up:
                 synced.discard(event.site)
+                if chaos:
+                    averager.notify_peer_down(event.site)
+                    node = dht_nodes.get(event.site)
+                    if node is not None and node.alive:
+                        node.leave()
             elif env.now > 0:  # a rejoin, not the initial boot
                 env.process(resync(event.site))
 
@@ -348,9 +411,34 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
     )
 
     # -- DHT + monitor -----------------------------------------------------
-    dht_network = DhtNetwork(env, fabric, telemetry=tel)
+    dht_network = DhtNetwork(
+        env,
+        fabric,
+        telemetry=tel,
+        max_retries=ft.dht_max_retries if ft is not None else 0,
+        retry_backoff_s=ft.dht_backoff_s if ft is not None else 1.0,
+        backoff_factor=ft.backoff_factor if ft is not None else 2.0,
+        rpc_timeout_s=ft.dht_rpc_timeout_s if ft is not None else None,
+    )
     dht_nodes = {site: DhtNode(dht_network, site) for site in sites}
     coordinator_node = dht_nodes[sites[0]]
+
+    if chaos and fleet is not None:
+        fleet_sites = {slot.site for slot in fleet.slots}
+        averager.set_liveness(
+            lambda s: s not in fleet_sites
+            or any(slot.up for slot in fleet.slots if slot.site == s)
+        )
+
+    injector: Optional[FaultInjector] = None
+    if schedule is not None:
+        injector = FaultInjector(
+            env, config.topology, fabric=fabric, schedule=schedule,
+            telemetry=tel, sites=sites,
+        )
+        if fleet is not None:
+            injector.on_crash = fleet.preempt
+        injector.start()
     monitor = None
     monitor_process = None
     if config.monitor_interval_s is not None:
@@ -396,11 +484,15 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
         while remaining > 1e-9:
             live = live_sites()
             if not live:
-                yield env.timeout(10.0)
+                # Block until a peer finishes resyncing instead of
+                # polling: the fleet wakes this event on every rejoin.
+                yield rejoin_signal[0]
                 continue
             effective: dict[str, float] = {}
             for site in live:
                 rate = rates[site]
+                if injector is not None:
+                    rate *= injector.compute_factor(site)
                 if site in links:
                     data_rate = links[site].demand_bps(rate)
                     max_rate = links[site].link_capacity_bps / (
@@ -410,6 +502,9 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
                         rate = min(rate, max_rate)
                 effective[site] = rate
             total_rate = sum(effective.values())
+            if total_rate <= 0:
+                yield env.timeout(5.0)
+                continue
             dt = remaining / total_rate
             step = min(dt, 30.0)
             yield env.timeout(step)
@@ -489,10 +584,17 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
                                    "transfer", pending_started, env.now)
                 if numeric is not None and previous.average is not None:
                     numeric.apply(pending_sites, previous.average)
+                if 0 <= pending_epoch < len(epoch_stats):
+                    epoch_stats[pending_epoch].rounds_retried = \
+                        previous.retries
+                    epoch_stats[pending_epoch].degraded = previous.degraded
                 pending_round = None
 
             round_start = env.now
             round_process = env.process(averager.run_round(contributions))
+            round_retries = 0
+            round_degraded = False
+            samples = int(sum(contributed.values()))
             if config.overlap_communication:
                 pending_round = round_process
                 pending_sites = live
@@ -502,6 +604,11 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
             else:
                 result = yield round_process
                 transfer_s = result.wall_time_s
+                round_retries = result.retries
+                round_degraded = result.degraded
+                if round_degraded and result.dropped_peers:
+                    # Only the surviving contributions were applied.
+                    samples = result.total_samples
                 record_phase_spans(epoch, live, "transfer", "transfer",
                                    round_start, env.now)
                 if numeric is not None and result.average is not None:
@@ -509,7 +616,6 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
 
             if loss_values:
                 losses.append(float(np.mean(loss_values)))
-            samples = int(sum(contributed.values()))
             epoch_stats.append(
                 EpochStats(
                     index=epoch,
@@ -520,6 +626,8 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
                     samples=samples,
                     live_peers=len(live),
                     loss=losses[-1] if loss_values else None,
+                    rounds_retried=round_retries,
+                    degraded=round_degraded,
                 )
             )
             if tracing:
@@ -536,6 +644,8 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
                                "transfer", pending_started, env.now)
             if epoch_stats:
                 epoch_stats[-1].transfer_s = final.wall_time_s
+                epoch_stats[-1].rounds_retried = final.retries
+                epoch_stats[-1].degraded = final.degraded
             if numeric is not None and final.average is not None:
                 numeric.apply(pending_sites, final.average)
 
@@ -585,4 +695,8 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
         losses=losses,
         metrics=metric_samples,
         telemetry=tel if tracing else None,
+        rounds_retried=sum(e.rounds_retried for e in epoch_stats),
+        degraded_epochs=sum(1 for e in epoch_stats if e.degraded),
+        transfers_aborted=fabric.aborted_flows,
+        fault_counts=dict(injector.counts) if injector is not None else {},
     )

@@ -1,6 +1,6 @@
 """Network substrate: topology, TCP model, flow fabric, profiler."""
 
-from .fabric import Fabric, Flow, TrafficMeter
+from .fabric import Fabric, Flow, TrafficMeter, TransferAborted
 from .profiler import ProfileResult, measure_bandwidth_bps, measure_rtt_s, profile_matrix
 from .profiles import LOCATIONS, PATH_OVERRIDES, build_topology, location_of
 from .tcp import (
@@ -33,6 +33,7 @@ __all__ = [
     "Topology",
     "TrafficClass",
     "TrafficMeter",
+    "TransferAborted",
     "bandwidth_delay_product_bytes",
     "build_topology",
     "classify_traffic",

@@ -43,9 +43,22 @@ from ..telemetry import NULL_TELEMETRY
 from .tcp import effective_ceiling_bps
 from .topology import Site, Topology, classify_traffic
 
-__all__ = ["Fabric", "Flow", "TrafficMeter"]
+__all__ = ["Fabric", "Flow", "TrafficMeter", "TransferAborted"]
 
 _EPS = 1e-9
+
+
+class TransferAborted(Exception):
+    """Raised into waiters of a transfer's completion event when the
+    transfer is cancelled via :meth:`Fabric.abort` (round timeout, peer
+    loss). The event is pre-defused, so only processes actively waiting
+    on it observe the exception."""
+
+    def __init__(self, flow: "Flow", reason: str = "aborted"):
+        super().__init__(f"transfer {flow.flow_id} {reason} "
+                         f"({flow.src.name}->{flow.dst.name})")
+        self.flow = flow
+        self.reason = reason
 
 
 @dataclass(eq=False, slots=True)
@@ -70,6 +83,9 @@ class Flow:
     #: Shared-resource ids this flow occupies, resolved once at
     #: creation (the fabric interns the tuple per (src, dst, channels)).
     resource_ids: tuple[str, ...] = ()
+    #: Set by :meth:`Fabric.abort`; admission and the debug generator
+    #: path check it so a flow cancelled mid-propagation never starts.
+    aborted: bool = False
     # Working state of the progressive-filling pass (_assign_rates).
     _fill_headroom: float = field(default=0.0, init=False, repr=False)
     _fill_active: bool = field(default=False, init=False, repr=False)
@@ -224,6 +240,14 @@ class Fabric:
         self._refill_pending = False
         #: High-water mark of concurrent flows (reported by `repro bench`).
         self.peak_active_flows = 0
+        #: Completion event -> flow, so :meth:`abort` can cancel a
+        #: transfer given only the event :meth:`transfer` returned.
+        self._event_flows: dict[Event, Flow] = {}
+        #: Transfers cancelled via :meth:`abort` (reported by chaos runs).
+        self.aborted_flows = 0
+        self._aborts_counter = self.telemetry.counter(
+            "transfer_aborts_total", "Fabric transfers cancelled mid-flight"
+        )
 
     def define_channel(self, name: str, capacity_bps: float) -> None:
         """Register a shared application channel (e.g. a per-VM
@@ -283,6 +307,7 @@ class Fabric:
             started_s=self.env.now,
             resource_ids=resource_ids,
         )
+        self._event_flows[done] = flow
         if self._tracer is not None and nbytes >= self.trace_min_bytes:
             track = self._track_names.get(src_site.name)
             if track is None:
@@ -348,10 +373,56 @@ class Fabric:
     def active_flows(self) -> int:
         return len(self._flows)
 
+    def abort(self, done: Event, reason: str = "aborted") -> bool:
+        """Cancel an in-flight transfer by its completion event.
+
+        Bytes already delivered are metered (they were really sent);
+        the completion event fails with :class:`TransferAborted` but is
+        *pre-defused*, so it is only observed by processes actively
+        waiting on it — crucially including an already-triggered
+        ``AllOf``/``AnyOf``, whose ``_observe`` no longer defuses late
+        sub-events. Returns ``False`` if the transfer already finished
+        (or was already aborted).
+        """
+        flow = self._event_flows.pop(done, None)
+        if flow is None or done.triggered:
+            return False
+        self._advance_clock()
+        flow.aborted = True
+        if flow in self._flows:
+            self._unregister_flow(flow)
+            self._mark_dirty()
+        delivered = flow.total_bytes - flow.remaining_bytes
+        if delivered > 0:
+            self.meter.record(flow.src, flow.dst, delivered)
+        if self._tracer is not None and flow.span is not None:
+            self._tracer.finish(flow.span)
+        self.aborted_flows += 1
+        self._aborts_counter.inc()
+        tel = self.env._telemetry
+        if tel is not None and not tel.capture_processes:
+            # Close out the fast admission path's logical flow process
+            # (the generator path tallies via the Process class).
+            tel.processes_finished += 1
+        done.fail(TransferAborted(flow, reason))
+        done.defused = True
+        return True
+
+    def on_topology_change(self) -> None:
+        """React to live topology mutation (fault injection).
+
+        Accounts flow progress at the old rates, then queues a refill;
+        the rebalance notices the bumped topology version and refreshes
+        the route/capacity caches before re-running max-min filling.
+        """
+        self._advance_clock()
+        self._mark_dirty()
+
     # -- flow lifecycle ---------------------------------------------------
 
     def _finish_flow(self, flow: Flow) -> None:
         """Meter a delivered flow and fire its completion event."""
+        self._event_flows.pop(flow.done, None)
         self.meter.record(flow.src, flow.dst, flow.total_bytes)
         if self._tracer is not None:
             # One cache lookup per flow: (src, dst, tag) resolves the
@@ -386,6 +457,8 @@ class Fabric:
 
     def _admit_flow(self, flow: Flow) -> None:
         """Fast-path flow admission after propagation delay."""
+        if flow.aborted:
+            return
         if flow.remaining_bytes <= 0:
             self._finish_flow(flow)
             return
@@ -396,13 +469,18 @@ class Fabric:
     def _run_flow(self, flow: Flow, propagation: float):
         if propagation > 0:
             yield self.env.timeout(propagation)
+        if flow.aborted:
+            return
         if flow.remaining_bytes <= 0:
             self._finish_flow(flow)
             return
         self._advance_clock()
         self._register_flow(flow)
         self._mark_dirty()
-        yield flow.done
+        try:
+            yield flow.done
+        except TransferAborted:
+            return
 
     def _register_flow(self, flow: Flow) -> None:
         """Add a flow to the active set and its resources' member sets."""
@@ -573,11 +651,17 @@ class Fabric:
     def _schedule_next_completion(self) -> None:
         if not self._flows:
             return
-        horizon = min(
+        horizons = [
             flow.remaining_bytes * 8.0 / flow.rate_bps
             for flow in self._flows
             if flow.rate_bps > 0
-        )
+        ]
+        if not horizons:
+            # Every active flow is rate-starved (a partitioned path can
+            # floor rates to a crawl that underflows to zero); progress
+            # resumes on the next topology change or flow departure.
+            return
+        horizon = min(horizons)
         # Clamp so the timer always advances the clock: at large
         # simulation times a tiny dt can round away entirely, which
         # would stall completion forever.

@@ -91,8 +91,7 @@ class TestSpotFleet:
             np.random.default_rng(seed),
             slots=[(f"gc:us/{i}", itype) for i in range(n)],
             interruption_model=model,
-            startup_s=300.0,
-            resync_s=120.0,
+            startup_s=420.0,
         )
 
     def test_all_slots_come_up_immediately(self):
@@ -140,6 +139,77 @@ class TestSpotFleet:
         env = Environment()
         fleet = self._fleet(env, monthly_rate=0.0)
         assert fleet.hourly_cost() == pytest.approx(4 * 0.180)
+
+
+class TestForcedPreemption:
+    def _forcible_fleet(self, env, n=4, zone_correlation=0.0, seed=1):
+        itype = get_instance_type("gc-t4")
+        return SpotFleet(
+            env,
+            np.random.default_rng(seed),
+            slots=[(f"gc:us/{i}", itype) for i in range(n)],
+            interruption_model=None,
+            startup_s=60.0,
+            allow_forced=True,
+            zone_correlation=zone_correlation,
+            zone_of=lambda site: "us-central1-a",
+        )
+
+    def test_preempt_takes_down_and_replaces_slot(self):
+        env = Environment()
+        fleet = self._forcible_fleet(env)
+
+        def chaos():
+            yield env.timeout(10.0)
+            assert fleet.preempt("gc:us/2") == 1
+
+        env.process(chaos())
+        env.run(until=11.0)
+        assert fleet.live_count == 3
+        assert fleet.forced_interruptions == 1
+        assert fleet.total_interruptions == 1
+        env.run(until=100.0)
+        assert fleet.live_count == 4  # replacement booted after startup_s
+
+    def test_preempt_without_allow_forced_is_noop(self):
+        env = Environment()
+        itype = get_instance_type("gc-t4")
+        fleet = SpotFleet(
+            env, np.random.default_rng(1),
+            slots=[("gc:us/0", itype)],
+        )
+        env.run(until=10.0)
+        assert fleet.preempt("gc:us/0") == 0
+        env.run(until=20.0)
+        assert fleet.live_count == 1
+
+    def test_full_zone_cascade_takes_down_every_slot(self):
+        env = Environment()
+        fleet = self._forcible_fleet(env, zone_correlation=1.0)
+
+        def chaos():
+            yield env.timeout(10.0)
+            fleet.preempt("gc:us/0")
+
+        env.process(chaos())
+        env.run(until=11.0)
+        assert fleet.live_count == 0
+        assert fleet.forced_interruptions == 4
+        env.run(until=100.0)
+        assert fleet.live_count == 4
+
+    def test_zero_correlation_never_cascades(self):
+        env = Environment()
+        fleet = self._forcible_fleet(env, zone_correlation=0.0)
+
+        def chaos():
+            yield env.timeout(10.0)
+            fleet.preempt("gc:us/0")
+
+        env.process(chaos())
+        env.run(until=11.0)
+        assert fleet.live_count == 3
+        assert fleet.forced_interruptions == 1
 
 
 def test_instance_catalog_host_ram_rule():

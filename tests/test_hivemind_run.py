@@ -189,7 +189,7 @@ class TestInterruptions:
                 counts={"gc:us": 4}, epochs=4,
                 interruption_model=InterruptionModel(monthly_rate=0.9999,
                                                      diurnal_amplitude=1.0),
-                startup_s=600.0, resync_s=300.0,
+                startup_s=900.0,
             )
         )
         assert flaky.throughput_sps <= stable.throughput_sps
@@ -217,6 +217,53 @@ class TestOverlapAblation:
 
 
 class TestStateSync:
+    def test_rejoin_path_is_deterministic_under_crash_faults(self):
+        """Section 7 rejoin flow, pinned by a scheduled crash instead of
+        a sampled interruption: the peer leaves the synced set, the
+        replacement downloads state from the nearest donor, and
+        state_syncs increments — identically on every run."""
+        from repro.faults import CrashFault, FaultSchedule
+
+        schedule = FaultSchedule(
+            crash_faults=(CrashFault(start_s=40.0, site="gc:us/3"),)
+        )
+
+        def run():
+            return run_hivemind(make_config(
+                counts={"gc:us": 4}, epochs=4, startup_s=10.0,
+                fault_schedule=schedule,
+            ))
+
+        first, second = run(), run()
+        assert first.interruptions == 1
+        assert first.state_syncs == 1
+        assert first.fault_counts["crash"] == 1
+        assert first.averaging_bytes > 0
+        assert repr(first.throughput_sps) == repr(second.throughput_sps)
+        assert repr(first.duration_s) == repr(second.duration_s)
+
+    def test_training_resumes_after_every_peer_crashes(self):
+        """When no peer is live the gradient loop parks on the fleet
+        rejoin event (not a poll) and resumes once replacements boot."""
+        from repro.faults import CrashFault, FaultSchedule
+
+        schedule = FaultSchedule(crash_faults=(
+            CrashFault(start_s=20.0, site="gc:us/0"),
+            CrashFault(start_s=20.0, site="gc:us/1"),
+        ))
+        result = run_hivemind(make_config(
+            counts={"gc:us": 2}, epochs=3, startup_s=30.0,
+            fault_schedule=schedule,
+        ))
+        assert result.interruptions == 2
+        assert len(result.epochs) == 3
+        assert result.total_samples == pytest.approx(3 * 32768, rel=0.02)
+        # The dead window (both peers down for startup_s) shows up in
+        # the wall clock, so the outage was actually survived, not
+        # skipped.
+        clean = run_hivemind(make_config(counts={"gc:us": 2}, epochs=3))
+        assert result.duration_s > clean.duration_s + 25.0
+
     def test_rejoining_peer_downloads_state(self):
         """Section 7: a replacement peer must synchronize the training
         state with a live peer before contributing again."""
