@@ -4,11 +4,14 @@
 Thin wrapper over :mod:`repro.bench` for environments where the package
 is not installed as a console script::
 
-    python benchmarks/harness.py --quick --output BENCH_PR2.json
-    python benchmarks/harness.py --quick --check BENCH_PR2.json
+    python benchmarks/harness.py --quick --output BENCH_PR4.json
+    python benchmarks/harness.py --quick --check BENCH_PR4.json
 
 Accepts exactly the same flags as ``repro bench``; see that subcommand
-(or README.md § Benchmarks) for the JSON schema and the CI gate.
+(or README.md § Benchmarks) for the JSON schema and the CI gate. The
+``sweep_parallel`` suite exercises the experiment orchestrator end to
+end: a cold ``--jobs 2`` sweep through a fresh content-addressed run
+cache, then a warm pass that must execute zero simulations.
 """
 
 from __future__ import annotations

@@ -2,11 +2,11 @@
 
 Runs a fixed set of simulation workloads — the Figure 2 penalty study,
 the Figure 8 transatlantic and Figure 9 intercontinental geo fan-outs,
-a Section 7 spot-interruption run, a fault-injected chaos run, and a
-telemetry-overhead probe — and writes a consolidated JSON result so
-every PR leaves a performance trajectory (``BENCH_PR3.json`` at the
-repo root is the committed baseline the CI ``bench`` job gates
-against).
+a Section 7 spot-interruption run, a fault-injected chaos run, a
+telemetry-overhead probe, and an orchestrated parallel sweep through
+the run cache — and writes a consolidated JSON result so every PR
+leaves a performance trajectory (``BENCH_PR4.json`` at the repo root
+is the committed baseline the CI ``bench`` job gates against).
 
 Result schema (``repro-bench/1``)::
 
@@ -48,7 +48,7 @@ import platform
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -78,6 +78,10 @@ class SuiteSpec:
     overrides: dict = field(default_factory=dict)
     #: Run under a live Telemetry sink (the overhead probe).
     traced: bool = False
+    #: Custom executor: ``runner(runs, epochs)`` must return the same
+    #: dict shape as :func:`_execute_suite` (used by the orchestrated
+    #: sweep suite, which times its own pipeline).
+    runner: Optional[Callable[[tuple, int], dict]] = None
 
     def selected_runs(self, quick: bool) -> tuple[tuple[str, str], ...]:
         return self.quick_runs if quick else self.runs
@@ -102,6 +106,42 @@ def _chaos_overrides() -> dict:
         "fault_schedule": chaos_schedule_for(
             "B-8", seed=0, intensity=2.0, horizon_s=450.0
         ),
+    }
+
+
+def _run_sweep_parallel(runs: tuple, epochs: int) -> dict:
+    """Timed cold parallel sweep through a fresh run cache, plus a warm
+    pass so the cache-hit path stays on the performance trajectory."""
+    import tempfile
+
+    from .experiments import SweepGrid, run_sweep
+    from .orchestrator import Orchestrator, RunCache
+
+    grid = SweepGrid(
+        models=tuple(dict.fromkeys(model for _, model in runs)),
+        experiments=tuple(dict.fromkeys(key for key, _ in runs)),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        cold = Orchestrator(cache=RunCache(root), jobs=2)
+        start = time.perf_counter()
+        sweep = run_sweep(grid, epochs=epochs, orchestrator=cold)
+        wall = time.perf_counter() - start
+        warm = Orchestrator(cache=RunCache(root), jobs=2)
+        start = time.perf_counter()
+        run_sweep(grid, epochs=epochs, orchestrator=warm)
+        warm_wall = time.perf_counter() - start
+    if sweep.failures:
+        raise RuntimeError(
+            f"bench sweep failed: {[f.error for f in sweep.failures]}"
+        )
+    return {
+        "wall_s": wall,
+        "simulated_epochs": sum(len(r.run.epochs) for r in sweep.results),
+        "peak_flows": max(r.run.peak_active_flows for r in sweep.results),
+        "detail": {
+            "warm_wall_s": warm_wall,
+            "warm_executed": warm.executed,  # must be 0: pure cache hits
+        },
     }
 
 
@@ -148,6 +188,13 @@ def _build_suites() -> tuple[SuiteSpec, ...]:
             quick_runs=(("B-4", "conv"),),
             traced=True,
         ),
+        SuiteSpec(
+            name="sweep_parallel",
+            runs=(("A10-2", "conv"), ("A10-4", "conv"),
+                  ("B-2", "conv"), ("B-4", "conv")),
+            quick_runs=(("A10-2", "conv"), ("B-2", "conv")),
+            runner=_run_sweep_parallel,
+        ),
     )
 
 
@@ -186,6 +233,8 @@ def _execute_suite(spec: SuiteSpec, epochs: int, quick: bool) -> dict:
     from .experiments import run_experiment
 
     runs = spec.selected_runs(quick)
+    if spec.runner is not None:
+        return spec.runner(runs, epochs)
     peak_flows = 0
     simulated_epochs = 0
     detail: dict = {}

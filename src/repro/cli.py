@@ -7,11 +7,14 @@ Usage::
     repro run table3 --epochs 5     # more averaging epochs
     repro run fig07 --format csv    # machine-readable output
     repro run all                   # everything (slow)
+    repro figures fig05 --jobs 4    # same, prefetching runs in parallel
     repro advise conv gc:us=8       # planner advice for a setup
     repro validate                  # paper-fidelity scorecard
     repro bench --quick             # curated perf suite (CI regression gate)
     repro chaos B-8 --intensity 1.0 # fault-injected run (deterministic)
     repro chaos B-8 --sweep 0.5,1,2 # fault intensity -> penalty sweep
+    repro sweep --models conv --experiments A-2,A-4 --jobs 4
+    repro cache ls                  # inspect the run cache
 """
 
 from __future__ import annotations
@@ -99,6 +102,27 @@ def _export_telemetry(tel, args: argparse.Namespace) -> None:
         print(f"wrote {args.metrics}")
 
 
+def _build_orchestrator(args: argparse.Namespace, default_cache: bool):
+    """An :class:`Orchestrator` from the shared --jobs/--cache flags."""
+    from .orchestrator import Orchestrator, RunCache, resolve_cache_dir
+
+    cache = None
+    if not getattr(args, "no_cache", False):
+        explicit = getattr(args, "cache_dir", None)
+        if explicit or default_cache:
+            cache = RunCache(resolve_cache_dir(explicit))
+    return Orchestrator(cache=cache, jobs=getattr(args, "jobs", 1))
+
+
+def _print_cache_stats(orchestrator) -> None:
+    stats = orchestrator.stats()
+    print(
+        f"cache: {stats['hits']} hits, {stats['misses']} misses; "
+        f"simulations executed: {stats['executed']}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import contextlib
 
@@ -106,12 +130,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scope = (
         contextlib.nullcontext() if tel is None else _use_telemetry_scope(tel)
     )
+    jobs = args.jobs
+    if tel is not None and jobs > 1:
+        # Spans are recorded in-process; pool workers would swallow
+        # them. Telemetry exports force serial execution.
+        print("note: telemetry export requested, running serially",
+              file=sys.stderr)
+        jobs = 1
+    orchestrator = _build_orchestrator(args, default_cache=False)
+    orchestrator.jobs = max(1, jobs)
     keys = report_keys() if args.report == "all" else [args.report]
     chunks = []
     with scope:
         for key in keys:
-            report = generate(key, epochs=args.epochs)
+            report = generate(key, epochs=args.epochs,
+                              orchestrator=orchestrator)
             chunks.append(_format_report(report, args.format))
+    if args.cache_dir or jobs > 1:
+        _print_cache_stats(orchestrator)
     output = "\n\n".join(chunks)
     if args.output:
         with open(args.output, "w") as handle:
@@ -299,18 +335,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         experiments=tuple(args.experiments.split(",")),
         target_batch_sizes=tuple(int(t) for t in args.tbs.split(",")),
     )
-    sweep = run_sweep(grid, epochs=args.epochs)
+    orchestrator = _build_orchestrator(args, default_cache=True)
+    sweep = run_sweep(grid, epochs=args.epochs, orchestrator=orchestrator)
     for row in sweep.rows():
         print(row)
-    for point, error in sweep.failures:
-        print(f"failed {point}: {error}")
+    for failure in sweep.failures:
+        print(f"failed {failure.point}: "
+              f"{failure.error_type}: {failure.error}")
     if args.output:
         if args.output.endswith(".json"):
             sweep.to_json(args.output)
         else:
             sweep.to_csv(args.output)
         print(f"wrote {args.output}")
+    _print_cache_stats(orchestrator)
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect and maintain the content-addressed run cache."""
+    from .orchestrator import RunCache, resolve_cache_dir
+
+    cache = RunCache(resolve_cache_dir(args.cache_dir))
+    if args.action == "ls":
+        entries = cache.ls()
+        for entry in entries:
+            marker = " (stale)" if entry.stale else ""
+            print(f"{entry.key[:16]}  {entry.kind:<10} {entry.label:<28} "
+                  f"{entry.size_bytes:>9}B{marker}")
+        total = sum(entry.size_bytes for entry in entries)
+        print(f"{len(entries)} entries, {total / 1e6:.2f} MB in {cache.root}",
+              file=sys.stderr)
+        return 0
+    if args.action == "verify":
+        problems = cache.verify()
+        for problem in problems:
+            print(f"corrupt: {problem}", file=sys.stderr)
+        print(f"verified {len(cache)} entries, "
+              f"{len(problems)} problem(s) in {cache.root}")
+        return 1 if problems else 0
+    if args.action == "gc":
+        removed = cache.gc(max_age_days=args.max_age_days)
+        for key in removed:
+            print(f"removed {key[:16]}")
+        print(f"gc: removed {len(removed)} entries from {cache.root}",
+              file=sys.stderr)
+        return 0
+    raise ValueError(f"unknown cache action {args.action!r}")
 
 
 def _parse_setup(tokens: list[str]) -> dict[str, int]:
@@ -358,13 +429,20 @@ def main(argv: list[str] | None = None) -> int:
         func=_cmd_list
     )
 
-    run = sub.add_parser("run", help="regenerate a table or figure")
+    run = sub.add_parser("run", aliases=["figures"],
+                         help="regenerate a table or figure")
     run.add_argument("report", help="report id (see 'repro list') or 'all'")
     run.add_argument("--epochs", type=int, default=3,
                      help="hivemind epochs to simulate per experiment")
     run.add_argument("--format", choices=("text", "csv", "json"),
                      default="text")
     run.add_argument("--output", help="write to a file instead of stdout")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="prefetch the report's runs on this many "
+                          "worker processes (output is identical)")
+    run.add_argument("--cache-dir",
+                     help="persist run results in this content-addressed "
+                          "cache directory (default: no disk cache)")
     run.add_argument("--trace",
                      help="write a Chrome trace_event JSON timeline of "
                           "the simulated run(s) to this path")
@@ -457,7 +535,26 @@ def main(argv: list[str] | None = None) -> int:
                        help="comma-separated target batch sizes")
     sweep.add_argument("--epochs", type=int, default=3)
     sweep.add_argument("--output", help=".csv or .json output file")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="run cache misses on this many worker "
+                            "processes (output is byte-identical)")
+    sweep.add_argument("--cache-dir",
+                       help="run cache directory (default: "
+                            "$REPRO_CACHE_DIR or .repro-cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="skip the run cache entirely")
     sweep.set_defaults(func=_cmd_sweep)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or maintain the run cache"
+    )
+    cache.add_argument("action", choices=("ls", "verify", "gc"))
+    cache.add_argument("--cache-dir",
+                       help="run cache directory (default: "
+                            "$REPRO_CACHE_DIR or .repro-cache)")
+    cache.add_argument("--max-age-days", type=float, default=None,
+                       help="gc only: also remove entries older than this")
+    cache.set_defaults(func=_cmd_cache)
 
     report = sub.add_parser(
         "report", help="write all regenerated tables/figures to markdown"

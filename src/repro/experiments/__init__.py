@@ -7,7 +7,7 @@ from .resilience import chaos_schedule_for, resilience_report, run_chaos
 from .report import (epoch_breakdown, report_to_markdown,
                      write_markdown_report)
 from .runner import ExperimentResult, centralized_baseline, run_experiment
-from .sweeps import SweepGrid, SweepResult, run_sweep
+from .sweeps import SweepFailure, SweepGrid, SweepResult, run_sweep
 from .validation import (
     ANCHORS,
     Anchor,
@@ -18,6 +18,7 @@ from .validation import (
 
 __all__ = [
     "ANCHORS",
+    "SweepFailure",
     "SweepGrid",
     "SweepResult",
     "run_sweep",

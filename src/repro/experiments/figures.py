@@ -8,6 +8,13 @@ crossovers fall).
 
 All generators accept an ``epochs`` knob: more epochs average out the
 matchmaking jitter, fewer keep the benchmarks fast.
+
+Runs execute through the ambient :class:`~repro.orchestrator.
+Orchestrator` (see :func:`_experiment` / :func:`_baseline`), so
+:func:`generate` can serve repeated points from the run cache and —
+because :data:`REPORT_POINTS` knows each figure's full point list up
+front — prefetch them on a process pool with ``jobs > 1`` while the
+row-building loops stay simple and serial.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Callable
 
 from ..cloud import PRICING
 from ..core import call_fractions, cost_per_million_samples
+from ..hardware import UnsupportedConfiguration
 from ..models import CV_KEYS, NLP_KEYS, get_model
 from ..network import (
     GBPS,
@@ -24,12 +32,32 @@ from ..network import (
     multi_stream_bps,
     profile_matrix,
 )
+from ..orchestrator import (
+    BaselineJob,
+    ExperimentJob,
+    Job,
+    Orchestrator,
+    RunCache,
+    current_orchestrator,
+    use_orchestrator,
+)
 from .configs import get_spec
-from .runner import ExperimentResult, centralized_baseline, run_experiment
+from .runner import ExperimentResult
 
-__all__ = ["Report", "REPORTS", "generate", "render", "report_keys"]
+__all__ = ["Report", "REPORTS", "REPORT_POINTS", "generate", "render",
+           "report_keys"]
 
 _ALL_SUITABILITY_MODELS = list(CV_KEYS + NLP_KEYS)
+
+
+def _experiment(key: str, model: str, **kwargs) -> ExperimentResult:
+    """``run_experiment`` by way of the ambient orchestrator."""
+    return current_orchestrator().experiment(key, model, **kwargs)
+
+
+def _baseline(name: str, model: str, spot: bool = True) -> ExperimentResult:
+    """``centralized_baseline`` by way of the ambient orchestrator."""
+    return current_orchestrator().baseline(name, model, spot=spot)
 
 
 @dataclass
@@ -113,8 +141,8 @@ def _cost_throughput(model: str, distributed: list[tuple[str, int]],
     rows = []
     for name in baselines:
         try:
-            result = centralized_baseline(name, model)
-        except Exception as error:  # 4xT4 OOM for NLP
+            result = _baseline(name, model)
+        except UnsupportedConfiguration as error:  # 4xT4 OOM for NLP
             rows.append({"setup": name, "sps": None, "usd_per_h": None,
                          "usd_per_1m": None, "usd_per_1m_metered": None,
                          "kind": f"unavailable ({error})"})
@@ -128,8 +156,8 @@ def _cost_throughput(model: str, distributed: list[tuple[str, int]],
             "kind": "centralized",
         })
     for key, tbs in distributed:
-        result = run_experiment(key, model, target_batch_size=tbs,
-                                epochs=epochs)
+        result = _experiment(key, model, target_batch_size=tbs,
+                             epochs=epochs)
         report = cost_report(result.run)
         vm_per_1m = cost_per_million_samples(result.throughput_sps,
                                              report.hourly_vm)
@@ -196,7 +224,7 @@ def figure17(epochs: int = 3) -> Report:
 def figure2(epochs: int = 3) -> Report:
     rows = []
     for model_key in _ALL_SUITABILITY_MODELS:
-        result = run_experiment("A10-2", model_key, epochs=epochs)
+        result = _experiment("A10-2", model_key, epochs=epochs)
         model = get_model(model_key)
         n = result.num_gpus
         baseline = result.baseline_sps
@@ -222,12 +250,12 @@ def figure2(epochs: int = 3) -> Report:
 def figure3(epochs: int = 3) -> Report:
     rows = []
     for model_key in _ALL_SUITABILITY_MODELS:
-        baseline = centralized_baseline(
+        baseline = _baseline(
             "1xA10", model_key
         ).throughput_sps
         for tbs in (8192, 16384, 32768):
-            result = run_experiment("A10-2", model_key,
-                                    target_batch_size=tbs, epochs=epochs)
+            result = _experiment("A10-2", model_key,
+                                 target_batch_size=tbs, epochs=epochs)
             rows.append({
                 "model": model_key,
                 "tbs": tbs,
@@ -245,8 +273,8 @@ def figure4(epochs: int = 3) -> Report:
     rows = []
     for model_key in _ALL_SUITABILITY_MODELS:
         for tbs in (8192, 16384, 32768):
-            result = run_experiment("A10-2", model_key,
-                                    target_batch_size=tbs, epochs=epochs)
+            result = _experiment("A10-2", model_key,
+                                 target_batch_size=tbs, epochs=epochs)
             rows.append({
                 "model": model_key,
                 "tbs": tbs,
@@ -270,10 +298,10 @@ def _a10_scaling(epochs: int) -> list[ExperimentResult]:
     for model_key in _ALL_SUITABILITY_MODELS:
         for n in (1, 2, 3, 4, 8):
             if n == 1:
-                results.append(centralized_baseline("1xA10", model_key))
+                results.append(_baseline("1xA10", model_key))
             else:
                 results.append(
-                    run_experiment(f"A10-{n}", model_key, epochs=epochs)
+                    _experiment(f"A10-{n}", model_key, epochs=epochs)
                 )
     return results
 
@@ -339,9 +367,9 @@ def _geo_figure(keys: list[str], fig_key: str, title: str, notes: list[str],
     for model_key, label in (("conv", "CV"), ("rxlm", "NLP")):
         for key in keys:
             if key == "A-1":
-                result = centralized_baseline("1xT4", model_key)
+                result = _baseline("1xT4", model_key)
             else:
-                result = run_experiment(key, model_key, epochs=epochs)
+                result = _experiment(key, model_key, epochs=epochs)
             rows.append({
                 "task": label,
                 "experiment": key,
@@ -444,7 +472,7 @@ def figure10(epochs: int = 3) -> Report:
     rows = []
     for model_key, label in (("conv", "CV"), ("rxlm", "NLP")):
         for key in ("D-1", "D-2", "D-3"):
-            result = run_experiment(key, model_key, epochs=epochs)
+            result = _experiment(key, model_key, epochs=epochs)
             rows.append({
                 "task": label,
                 "experiment": key,
@@ -465,7 +493,7 @@ def figure11(epochs: int = 3) -> Report:
 
     for model_key, label in (("conv", "CV"), ("rxlm", "NLP")):
         for key in ("D-2", "D-3"):
-            result = run_experiment(key, model_key, epochs=epochs)
+            result = _experiment(key, model_key, epochs=epochs)
             report = cost_report(result.run)
             by_provider: dict[str, list] = {}
             for vm in report.vms:
@@ -491,7 +519,7 @@ def figure11(epochs: int = 3) -> Report:
     # using the paper's call-count accounting.
     fractions = call_fractions(["US", "EU", "ASIA", "AUS"], [2, 2, 2, 2])
     for model_key, label in (("conv", "CV"), ("rxlm", "NLP")):
-        result = run_experiment("C-8", model_key, epochs=epochs)
+        result = _experiment("C-8", model_key, epochs=epochs)
         run = result.run
         egress_gb_per_vm_h = (
             sum(run.egress_bytes_by_site.values()) / len(run.egress_bytes_by_site)
@@ -526,7 +554,7 @@ def figure12(epochs: int = 3) -> Report:
     rows = []
     for model_key in _ALL_SUITABILITY_MODELS:
         for n in (2, 4, 8):
-            result = run_experiment(f"A10-{n}", model_key, epochs=epochs)
+            result = _experiment(f"A10-{n}", model_key, epochs=epochs)
             rows.append({
                 "model": model_key,
                 "gpus": n,
@@ -549,18 +577,18 @@ def table6(epochs: int = 3) -> Report:
     for model_key, label in (("conv", "CONV"), ("rxlm", "RXLM")):
         row = {"model": label}
         row["RTX8000"] = round(
-            centralized_baseline("RTX8000", model_key).throughput_sps, 1
+            _baseline("RTX8000", model_key).throughput_sps, 1
         )
         for key in ("E-A-8", "E-B-8", "E-C-8"):
             row[key] = round(
-                run_experiment(key, model_key, epochs=epochs).throughput_sps,
+                _experiment(key, model_key, epochs=epochs).throughput_sps,
                 1,
             )
         row["8xT4"] = round(
-            run_experiment("A-8", model_key, epochs=epochs).throughput_sps, 1
+            _experiment("A-8", model_key, epochs=epochs).throughput_sps, 1
         )
         row["8xA10"] = round(
-            run_experiment("A10-8", model_key, epochs=epochs).throughput_sps,
+            _experiment("A10-8", model_key, epochs=epochs).throughput_sps,
             1,
         )
         rows.append(row)
@@ -577,7 +605,7 @@ def _hybrid_figure(setting: str, baseline_name: str, fig_key: str,
                    title: str, notes: list[str], epochs: int) -> Report:
     rows = []
     for model_key, label in (("conv", "CV"), ("rxlm", "NLP")):
-        baseline = centralized_baseline(baseline_name, model_key)
+        baseline = _baseline(baseline_name, model_key)
         rows.append({
             "task": label, "experiment": baseline_name, "cloud_gpus": 0,
             "sps": round(baseline.throughput_sps, 1), "granularity": None,
@@ -585,7 +613,7 @@ def _hybrid_figure(setting: str, baseline_name: str, fig_key: str,
         for variant in ("A", "B", "C"):
             for n in (1, 2, 4, 8):
                 key = f"{setting}-{variant}-{n}"
-                result = run_experiment(key, model_key, epochs=epochs)
+                result = _experiment(key, model_key, epochs=epochs)
                 rows.append({
                     "task": label,
                     "experiment": key,
@@ -623,15 +651,15 @@ def figure14(epochs: int = 3) -> Report:
 
 def figure16(epochs: int = 3) -> Report:
     rows = []
-    baseline = centralized_baseline("1xT4", "whisper-small")
+    baseline = _baseline("1xT4", "whisper-small")
     rows.append({
         "tbs": None, "gpus": 1, "sps": round(baseline.throughput_sps, 1),
         "granularity": None, "speedup": 1.0,
     })
     for tbs in (256, 512, 1024):
         for n in (2, 4, 8):
-            result = run_experiment(f"A-{n}", "whisper-small",
-                                    target_batch_size=tbs, epochs=epochs)
+            result = _experiment(f"A-{n}", "whisper-small",
+                                 target_batch_size=tbs, epochs=epochs)
             rows.append({
                 "tbs": tbs,
                 "gpus": n,
@@ -736,12 +764,172 @@ REPORTS: dict[str, Callable[..., Report]] = {
 }
 
 
+# --------------------------------------------------------------------------
+# Known run points per report — the prefetch registry
+# --------------------------------------------------------------------------
+
+def _points_cost_throughput(model: str, distributed: list[tuple[str, int]],
+                            baselines: list[str],
+                            epochs: int) -> list[Job]:
+    jobs: list[Job] = [BaselineJob(name, model) for name in baselines]
+    jobs += [ExperimentJob.make(key, model, target_batch_size=tbs,
+                                epochs=epochs)
+             for key, tbs in distributed]
+    return jobs
+
+
+def _points_fig01(epochs: int) -> list[Job]:
+    return _points_cost_throughput(
+        "conv", [("A-8", 32768), ("A10-8", 32768)],
+        ["1xT4", "1xA10", "DGX-2", "4xT4-DDP"], epochs)
+
+
+def _points_fig15(epochs: int) -> list[Job]:
+    return _points_cost_throughput(
+        "rxlm", [("A-8", 32768), ("A10-8", 32768)],
+        ["1xT4", "1xA10", "DGX-2", "4xT4-DDP"], epochs)
+
+
+def _points_fig17(epochs: int) -> list[Job]:
+    return _points_cost_throughput(
+        "whisper-small", [("A-8", 1024)], ["A100", "4xT4-DDP"], epochs)
+
+
+def _points_fig02(epochs: int) -> list[Job]:
+    return [ExperimentJob.make("A10-2", model, epochs=epochs)
+            for model in _ALL_SUITABILITY_MODELS]
+
+
+def _points_tbs_sweep(epochs: int) -> list[Job]:
+    return [ExperimentJob.make("A10-2", model, target_batch_size=tbs,
+                               epochs=epochs)
+            for model in _ALL_SUITABILITY_MODELS
+            for tbs in (8192, 16384, 32768)]
+
+
+def _points_fig03(epochs: int) -> list[Job]:
+    return ([BaselineJob("1xA10", model)
+             for model in _ALL_SUITABILITY_MODELS]
+            + _points_tbs_sweep(epochs))
+
+
+def _points_a10_scaling(epochs: int) -> list[Job]:
+    jobs: list[Job] = []
+    for model in _ALL_SUITABILITY_MODELS:
+        jobs.append(BaselineJob("1xA10", model))
+        jobs += [ExperimentJob.make(f"A10-{n}", model, epochs=epochs)
+                 for n in (2, 3, 4, 8)]
+    return jobs
+
+
+def _points_geo(keys: list[str], epochs: int) -> list[Job]:
+    jobs: list[Job] = []
+    for model in ("conv", "rxlm"):
+        for key in keys:
+            if key == "A-1":
+                jobs.append(BaselineJob("1xT4", model))
+            else:
+                jobs.append(ExperimentJob.make(key, model, epochs=epochs))
+    return jobs
+
+
+def _points_fig10(epochs: int) -> list[Job]:
+    return [ExperimentJob.make(key, model, epochs=epochs)
+            for model in ("conv", "rxlm") for key in ("D-1", "D-2", "D-3")]
+
+
+def _points_fig11(epochs: int) -> list[Job]:
+    return ([ExperimentJob.make(key, model, epochs=epochs)
+             for model in ("conv", "rxlm") for key in ("D-2", "D-3")]
+            + [ExperimentJob.make("C-8", model, epochs=epochs)
+               for model in ("conv", "rxlm")])
+
+
+def _points_fig12(epochs: int) -> list[Job]:
+    return [ExperimentJob.make(f"A10-{n}", model, epochs=epochs)
+            for model in _ALL_SUITABILITY_MODELS for n in (2, 4, 8)]
+
+
+def _points_table6(epochs: int) -> list[Job]:
+    jobs: list[Job] = []
+    for model in ("conv", "rxlm"):
+        jobs.append(BaselineJob("RTX8000", model))
+        jobs += [ExperimentJob.make(key, model, epochs=epochs)
+                 for key in ("E-A-8", "E-B-8", "E-C-8", "A-8", "A10-8")]
+    return jobs
+
+
+def _points_hybrid(setting: str, baseline_name: str,
+                   epochs: int) -> list[Job]:
+    jobs: list[Job] = []
+    for model in ("conv", "rxlm"):
+        jobs.append(BaselineJob(baseline_name, model))
+        jobs += [
+            ExperimentJob.make(f"{setting}-{variant}-{n}", model,
+                               epochs=epochs)
+            for variant in ("A", "B", "C") for n in (1, 2, 4, 8)
+        ]
+    return jobs
+
+
+def _points_fig16(epochs: int) -> list[Job]:
+    jobs: list[Job] = [BaselineJob("1xT4", "whisper-small")]
+    jobs += [ExperimentJob.make(f"A-{n}", "whisper-small",
+                                target_batch_size=tbs, epochs=epochs)
+             for tbs in (256, 512, 1024) for n in (2, 4, 8)]
+    return jobs
+
+
+#: Every simulated/priced point a report will request, keyed like
+#: :data:`REPORTS`; reports that run no experiments are absent. Used to
+#: warm the run cache in parallel before the (serial) row loops run —
+#: and cross-checked against the actual requests by the test suite.
+REPORT_POINTS: dict[str, Callable[[int], list[Job]]] = {
+    "fig01": _points_fig01,
+    "fig02": _points_fig02,
+    "fig03": _points_fig03,
+    "fig04": _points_tbs_sweep,
+    "fig05": _points_a10_scaling,
+    "fig06": _points_a10_scaling,
+    "fig07": lambda epochs: _points_geo(
+        ["A-1", "A-2", "A-3", "A-4", "A-6", "A-8"], epochs),
+    "fig08": lambda epochs: _points_geo(
+        ["A-1", "B-2", "B-4", "B-6", "B-8"], epochs),
+    "fig09": lambda epochs: _points_geo(
+        ["A-1", "C-3", "C-4", "C-6", "C-8"], epochs),
+    "fig10": _points_fig10,
+    "fig11": _points_fig11,
+    "fig12": _points_fig12,
+    "table6": _points_table6,
+    "fig13": lambda epochs: _points_hybrid("E", "RTX8000", epochs),
+    "fig14": lambda epochs: _points_hybrid("F", "DGX-2", epochs),
+    "fig15": _points_fig15,
+    "fig16": _points_fig16,
+    "fig17": _points_fig17,
+}
+
+
 def report_keys() -> list[str]:
     return list(REPORTS)
 
 
-def generate(key: str, epochs: int = 3) -> Report:
-    """Regenerate one of the paper's tables/figures by id."""
+def generate(key: str, epochs: int = 3, jobs: int = 1,
+             cache: "RunCache | None" = None,
+             orchestrator: "Orchestrator | None" = None) -> Report:
+    """Regenerate one of the paper's tables/figures by id.
+
+    With ``jobs > 1`` the report's known point list (from
+    :data:`REPORT_POINTS`) is prefetched on a process pool first; the
+    report body then assembles its rows serially from warm results, so
+    the output is identical to a serial run. ``cache`` persists results
+    across invocations; ``orchestrator`` overrides both knobs.
+    """
     if key not in REPORTS:
         raise KeyError(f"unknown report {key!r}; known: {report_keys()}")
-    return REPORTS[key](epochs=epochs)
+    if orchestrator is None:
+        orchestrator = Orchestrator(cache=cache, jobs=jobs)
+    with use_orchestrator(orchestrator):
+        points = REPORT_POINTS.get(key)
+        if points is not None and orchestrator.jobs > 1:
+            orchestrator.prefetch(points(epochs))
+        return REPORTS[key](epochs=epochs)

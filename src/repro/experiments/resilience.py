@@ -18,8 +18,9 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..faults import FaultSchedule, generate_schedule
-from ..hivemind import RunResult, run_hivemind
-from .configs import build_run_config, get_spec
+from ..hivemind import RunResult
+from ..orchestrator import current_orchestrator
+from .configs import get_spec
 from .figures import Report
 
 __all__ = ["run_chaos", "resilience_report", "chaos_schedule_for"]
@@ -63,13 +64,19 @@ def run_chaos(
     When ``schedule`` is None one is generated deterministically from
     ``(seed, intensity, horizon_s)`` over the experiment's sites.
     Returns the run result and the schedule actually used.
+
+    Execution goes through the ambient orchestrator, so chaos runs are
+    cached and parallelized like any other experiment job (schedules
+    are part of the fingerprint).
     """
     if schedule is None:
         schedule = chaos_schedule_for(key, seed=seed, intensity=intensity,
                                       horizon_s=horizon_s)
-    config = build_run_config(key, model, target_batch_size, epochs,
-                              fault_schedule=schedule, **overrides)
-    return run_hivemind(config), schedule
+    result = current_orchestrator().experiment(
+        key, model, target_batch_size=target_batch_size, epochs=epochs,
+        fault_schedule=schedule, **overrides,
+    )
+    return result.run, schedule
 
 
 def _chaos_row(intensity: float, result: RunResult,
@@ -106,8 +113,9 @@ def resilience_report(
     The first row is the clean baseline (intensity 0, no schedule); the
     penalty column is relative to it.
     """
-    config = build_run_config(key, model, target_batch_size, epochs)
-    clean = run_hivemind(config)
+    clean = current_orchestrator().experiment(
+        key, model, target_batch_size=target_batch_size, epochs=epochs,
+    ).run
     rows = [_chaos_row(0.0, clean, clean.throughput_sps)]
     for intensity in intensities:
         result, __ = run_chaos(

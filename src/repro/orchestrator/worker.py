@@ -1,0 +1,33 @@
+"""Spawn-safe worker entrypoint for the parallel executor.
+
+:func:`run_job` is the only function the process pool ever executes:
+it takes a wire-format job dict (plain JSON types, safe to pickle under
+any multiprocessing start method), runs the simulation, and returns an
+*outcome* dict — ``{"ok": True, "record": ...}`` on success or
+``{"ok": False, "failure": ...}`` when the simulation raised.
+
+Simulation exceptions are converted to failure records *inside* the
+worker (with the same trimmed traceback the inline path produces), so
+a deterministic failure is an ordinary result, not an infrastructure
+error — the executor only retries transport-level trouble (timeouts,
+broken pools), never a sim that will deterministically fail again.
+
+Workers never touch the cache: reads and writes stay in the parent so
+the on-disk store needs no cross-process locking.
+"""
+
+from __future__ import annotations
+
+from .jobs import execute_job, format_failure, job_from_wire, result_to_record
+
+__all__ = ["run_job"]
+
+
+def run_job(wire: dict) -> dict:
+    """Execute one wire-format job; never raises for sim errors."""
+    job = job_from_wire(wire)
+    try:
+        result = execute_job(job)
+    except Exception as error:
+        return {"ok": False, "failure": format_failure(error).to_dict()}
+    return {"ok": True, "record": result_to_record(job, result)}

@@ -74,9 +74,20 @@ class TestRunSweep:
         sweep = run_sweep(grid, epochs=2)
         assert not sweep.results
         assert len(sweep.failures) == 1
+        # Failures still unpack like the historical (point, error) tuple.
         point, error = sweep.failures[0]
         assert point == ("conv", "Z-99", 32768)
         assert "unknown experiment" in error
+
+    def test_failure_records_carry_type_and_traceback(self):
+        grid = SweepGrid(models=("conv",), experiments=("Z-99",))
+        failure = run_sweep(grid, epochs=2).failures[0]
+        assert failure.error_type == "KeyError"
+        assert "unknown experiment" in failure.traceback
+        assert failure.traceback.startswith("Traceback")
+        doc = failure.to_dict()
+        assert doc["point"] == ["conv", "Z-99", 32768]
+        assert doc["error_type"] == "KeyError"
 
 
 class TestReplication:
@@ -108,8 +119,10 @@ def test_cli_sweep(tmp_path, capsys):
 
     target = tmp_path / "grid.csv"
     code = main(["sweep", "--models", "conv", "--experiments", "A-2",
-                 "--epochs", "2", "--output", str(target)])
+                 "--epochs", "2", "--output", str(target),
+                 "--cache-dir", str(tmp_path / "cache")])
     assert code == 0
     assert target.exists()
-    out = capsys.readouterr().out
-    assert "A-2" in out
+    captured = capsys.readouterr()
+    assert "A-2" in captured.out
+    assert "simulations executed: 1" in captured.err
