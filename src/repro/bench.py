@@ -3,10 +3,12 @@
 Runs a fixed set of simulation workloads — the Figure 2 penalty study,
 the Figure 8 transatlantic and Figure 9 intercontinental geo fan-outs,
 a Section 7 spot-interruption run, a fault-injected chaos run, a
-telemetry-overhead probe, and an orchestrated parallel sweep through
-the run cache — and writes a consolidated JSON result so every PR
-leaves a performance trajectory (``BENCH_PR4.json`` at the repo root
-is the committed baseline the CI ``bench`` job gates against).
+telemetry-overhead probe, an adaptive control-plane run (policy-driven
+migrations with spot-price integration), and an orchestrated parallel
+sweep through the run cache — and writes a consolidated JSON result so
+every PR leaves a performance trajectory (``BENCH_PR5.json`` at the
+repo root is the committed baseline the CI ``bench`` job gates
+against).
 
 Result schema (``repro-bench/1``)::
 
@@ -109,6 +111,20 @@ def _chaos_overrides() -> dict:
     }
 
 
+def _adaptive_overrides() -> dict:
+    from .controlplane import get_policy
+    from .experiments import adaptive_market, standby_peers_for
+
+    # Keeps the controller's observe -> decide -> actuate loop (and the
+    # migration machinery it drives: deactivation, DHT joins, state
+    # syncs, uptime accounting) on the timed path.
+    return {
+        "policy": get_policy("adaptive"),
+        "price_models": adaptive_market("D-2"),
+        "standby_peers": standby_peers_for("D-2"),
+    }
+
+
 def _run_sweep_parallel(runs: tuple, epochs: int) -> dict:
     """Timed cold parallel sweep through a fresh run cache, plus a warm
     pass so the cache-hit path stays on the performance trajectory."""
@@ -187,6 +203,12 @@ def _build_suites() -> tuple[SuiteSpec, ...]:
             runs=(("B-4", "conv"),),
             quick_runs=(("B-4", "conv"),),
             traced=True,
+        ),
+        SuiteSpec(
+            name="adaptive_control",
+            runs=(("D-2", "conv"),),
+            quick_runs=(("D-2", "conv"),),
+            overrides=_adaptive_overrides(),
         ),
         SuiteSpec(
             name="sweep_parallel",

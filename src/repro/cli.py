@@ -8,6 +8,8 @@ Usage::
     repro run fig07 --format csv    # machine-readable output
     repro run all                   # everything (slow)
     repro figures fig05 --jobs 4    # same, prefetching runs in parallel
+    repro run adaptive --policy adaptive  # static vs adaptive control
+    repro control                   # list control-plane policies
     repro advise conv gc:us=8       # planner advice for a setup
     repro validate                  # paper-fidelity scorecard
     repro bench --quick             # curated perf suite (CI regression gate)
@@ -140,11 +142,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     orchestrator = _build_orchestrator(args, default_cache=False)
     orchestrator.jobs = max(1, jobs)
     keys = report_keys() if args.report == "all" else [args.report]
+    extra = {}
+    if getattr(args, "policy", None):
+        if args.report != "adaptive":
+            print("--policy only applies to the 'adaptive' report",
+                  file=sys.stderr)
+            return 2
+        extra["policy"] = args.policy
     chunks = []
     with scope:
         for key in keys:
             report = generate(key, epochs=args.epochs,
-                              orchestrator=orchestrator)
+                              orchestrator=orchestrator, **extra)
             chunks.append(_format_report(report, args.format))
     if args.cache_dir or jobs > 1:
         _print_cache_stats(orchestrator)
@@ -384,6 +393,39 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     raise ValueError(f"unknown cache action {args.action!r}")
 
 
+def _cmd_control(args: argparse.Namespace) -> int:
+    """List the control-plane policies, or describe one in detail."""
+    import dataclasses
+
+    from .controlplane import POLICIES, get_policy
+
+    if not args.policy:
+        for name, cls in POLICIES.items():
+            doc = (cls.__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{name:<10} {summary}")
+        print("\nuse 'repro control <name>' for parameters, "
+              "'repro run adaptive --policy <name>' to evaluate one")
+        return 0
+    try:
+        policy = get_policy(args.policy)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    cls = type(policy)
+    print(f"{args.policy}: {cls.__name__}")
+    doc = (cls.__doc__ or "").strip()
+    if doc:
+        print(f"  {doc.splitlines()[0]}")
+    print("  parameters:")
+    for field in dataclasses.fields(cls):
+        value = getattr(policy, field.name)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            value = type(value).__name__ + "()"
+        print(f"    {field.name:<22} = {value}")
+    return 0
+
+
 def _parse_setup(tokens: list[str]) -> dict[str, int]:
     counts: dict[str, int] = {}
     for token in tokens:
@@ -451,6 +493,9 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--metrics",
                      help="write final metric values in Prometheus text "
                           "format to this path")
+    run.add_argument("--policy",
+                     help="control-plane policy for the 'adaptive' report "
+                          "(see 'repro control')")
     run.set_defaults(func=_cmd_run)
 
     trace = sub.add_parser(
@@ -565,6 +610,14 @@ def main(argv: list[str] | None = None) -> int:
     report.add_argument("--epochs", type=int, default=3)
     report.add_argument("--no-scorecard", action="store_true")
     report.set_defaults(func=_cmd_report)
+
+    control = sub.add_parser(
+        "control",
+        help="list or describe the adaptive control-plane policies",
+    )
+    control.add_argument("policy", nargs="?",
+                         help="policy name to describe (default: list all)")
+    control.set_defaults(func=_cmd_control)
 
     advise = sub.add_parser(
         "advise", help="planner advice for a candidate setup"

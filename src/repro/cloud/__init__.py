@@ -28,7 +28,7 @@ from .spot import (
     expected_downtime_fraction,
     expected_throughput_penalty,
 )
-from .spot_market import SpotPriceModel, price_series
+from .spot_market import SpotPriceModel, integrate_price_usd, price_series
 
 __all__ = [
     "B2_EGRESS_PER_GB",
@@ -42,6 +42,7 @@ __all__ = [
     "SpotPriceModel",
     "ZoneOffer",
     "emissions_per_million_samples",
+    "integrate_price_usd",
     "price_series",
     "run_emissions_kg",
     "INSTANCE_TYPES",

@@ -17,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["SpotPriceModel", "price_series"]
+__all__ = ["SpotPriceModel", "integrate_price_usd", "price_series"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,31 @@ class SpotPriceModel:
         if rng is not None and noise > 0:
             price *= float(np.exp(rng.normal(0.0, noise)))
         return min(max(price, 0.0), self.ondemand_per_h)
+
+
+def integrate_price_usd(
+    model: SpotPriceModel,
+    intervals: list[tuple[float, float]],
+    step_s: float = 3600.0,
+) -> float:
+    """Dollars billed at the hourly spot price over uptime ``intervals``.
+
+    Billing follows the broker's accrual convention: the price is
+    sampled at the start of each (possibly partial) ``step_s`` billing
+    step, matching "spot prices change hourly" (Section 2.2). The
+    integral is a pure function of the model and the intervals, so
+    identically-seeded runs bill identically.
+    """
+    if step_s <= 0:
+        raise ValueError("step_s must be > 0")
+    total = 0.0
+    for start, end in intervals:
+        t = float(start)
+        while t < end - 1e-9:
+            step = min(step_s, end - t)
+            total += model.price_at(t) * step / 3600.0
+            t += step
+    return total
 
 
 def price_series(

@@ -1,0 +1,217 @@
+"""The in-run control loop: observe at epoch boundaries, decide, actuate.
+
+:class:`Controller` is the mutable half of the control plane. The run
+loop (:func:`repro.hivemind.run.run_hivemind`) calls
+:meth:`Controller.on_epoch_end` after every hivemind epoch; the
+controller assembles an :class:`~repro.controlplane.policy.Observation`
+from the epoch stats, current spot prices and preemption counters,
+asks the (pure, stateless) policy for actions, validates each against
+the live membership (never touch a pinned site, never double-book a
+spare, never drop below ``min_peers``), and actuates the survivors
+through callbacks the run loop provides — deactivating a peer is
+synchronous, activating one spawns a boot + DHT join + state-sync
+simulation process.
+
+Every proposal, applied or rejected, becomes a
+:class:`~repro.controlplane.policy.Decision` in :attr:`decisions` — the
+byte-replayable decision log — and a telemetry instant plus counter, so
+control moves are visible on the same timeline as the epochs they
+steer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..network import location_of
+from ..telemetry import resolve_telemetry
+from .policy import Action, Decision, Observation
+
+__all__ = ["Controller"]
+
+
+class Controller:
+    """Applies a policy's decisions to a live simulated run."""
+
+    def __init__(
+        self,
+        env,
+        policy,
+        *,
+        active_sites: Iterable[str],
+        standby_sites: Iterable[str] = (),
+        pinned_sites: Iterable[str] = (),
+        target_batch_size: int,
+        price_models: Optional[dict] = None,
+        flat_prices: Optional[dict[str, float]] = None,
+        preemption_counts: Optional[Callable[[], dict[str, int]]] = None,
+        activate: Optional[Callable[[str], None]] = None,
+        deactivate: Optional[Callable[[str], None]] = None,
+        min_peers: int = 1,
+        telemetry=None,
+    ):
+        self.env = env
+        self.policy = policy
+        #: Full site roster in deterministic (config) order.
+        self.order: list[str] = list(
+            dict.fromkeys(list(active_sites) + list(standby_sites))
+        )
+        self.active: set[str] = set(active_sites)
+        self.pinned: set[str] = set(pinned_sites)
+        #: Sites whose activation (boot + join + state sync) is running.
+        self.in_flight: set[str] = set()
+        self.current_tbs = int(target_batch_size)
+        self.min_peers = max(1, int(min_peers))
+        self.price_models = dict(price_models or {})
+        self.flat_prices = dict(flat_prices or {})
+        self._preemption_counts = preemption_counts
+        self._activate = activate
+        self._deactivate = deactivate
+        self.decisions: list[Decision] = []
+        #: Applied actions by kind.
+        self.counts: dict[str, int] = {}
+        self.tel = resolve_telemetry(telemetry)
+        self._locations = list(
+            dict.fromkeys(location_of(site) for site in self.order)
+        )
+
+    # -- state views ---------------------------------------------------------
+
+    @property
+    def migrations(self) -> int:
+        return self.counts.get("migrate", 0)
+
+    def active_in_order(self) -> tuple[str, ...]:
+        return tuple(s for s in self.order if s in self.active)
+
+    def standby_free(self) -> tuple[str, ...]:
+        return tuple(
+            s for s in self.order
+            if s not in self.active and s not in self.in_flight
+        )
+
+    def prices_now(self) -> dict[str, float]:
+        """Location -> current $/h: spot model if priced, else catalog."""
+        prices: dict[str, float] = {}
+        for location in self._locations:
+            model = self.price_models.get(location)
+            if model is not None:
+                prices[location] = model.price_at(self.env.now)
+            elif location in self.flat_prices:
+                prices[location] = self.flat_prices[location]
+        return prices
+
+    def finish_activation(self, site: str) -> None:
+        """Called by the run loop when a spawned activation completes."""
+        self.in_flight.discard(site)
+        self.active.add(site)
+
+    # -- the control step ----------------------------------------------------
+
+    def observe(self, stats) -> Observation:
+        preemptions = (
+            self._preemption_counts() if self._preemption_counts else {}
+        )
+        return Observation(
+            time_s=self.env.now,
+            epoch=stats.index,
+            target_batch_size=self.current_tbs,
+            calc_s=stats.calc_s,
+            comm_s=stats.comm_s,
+            samples=stats.samples,
+            granularity=stats.granularity,
+            active_sites=self.active_in_order(),
+            standby_sites=self.standby_free(),
+            pinned_sites=tuple(s for s in self.order if s in self.pinned),
+            prices_per_h=self.prices_now(),
+            preemptions=preemptions,
+        )
+
+    def on_epoch_end(self, stats) -> list[Decision]:
+        """One observe -> decide -> actuate step; returns new decisions."""
+        observation = self.observe(stats)
+        actions = list(self.policy.decide(observation))
+        new: list[Decision] = []
+        for action in actions:
+            decision = self._apply(observation, action)
+            self.decisions.append(decision)
+            new.append(decision)
+            self.tel.instant(
+                "control_decision", category="control", track="control",
+                kind=decision.kind, site=decision.site or "",
+                target=decision.target or "", outcome=decision.outcome,
+                reason=decision.reason,
+            )
+            self.tel.counter(
+                "control_decisions_total",
+                "Controller decisions, applied and rejected",
+            ).inc()
+            if decision.outcome == "applied":
+                self.counts[decision.kind] = (
+                    self.counts.get(decision.kind, 0) + 1
+                )
+                self.tel.counter(
+                    f"control_{decision.kind}_total",
+                    f"Applied {decision.kind} control actions",
+                ).inc()
+        return new
+
+    # -- validation + actuation ----------------------------------------------
+
+    def _decision(self, obs: Observation, action: Action,
+                  outcome: str) -> Decision:
+        return Decision(
+            time_s=obs.time_s, epoch=obs.epoch, kind=action.kind,
+            site=action.site, target=action.target, tbs=action.tbs,
+            reason=action.reason, outcome=outcome,
+        )
+
+    def _apply(self, obs: Observation, action: Action) -> Decision:
+        reject = self._validate(action)
+        if reject is not None:
+            return self._decision(obs, action, f"rejected:{reject}")
+        if action.kind == "set_tbs":
+            self.current_tbs = int(action.tbs)  # type: ignore[arg-type]
+        elif action.kind == "scale_down":
+            self._drop(action.site)  # type: ignore[arg-type]
+        elif action.kind == "scale_up":
+            self._spawn(action.target)  # type: ignore[arg-type]
+        elif action.kind == "migrate":
+            self._drop(action.site)  # type: ignore[arg-type]
+            self._spawn(action.target)  # type: ignore[arg-type]
+        return self._decision(obs, action, "applied")
+
+    def _validate(self, action: Action) -> Optional[str]:
+        if action.kind == "set_tbs":
+            if action.tbs is None or action.tbs < 1:
+                return "invalid-tbs"
+            if action.tbs == self.current_tbs:
+                return "tbs-unchanged"
+            return None
+        if action.kind in ("migrate", "scale_down"):
+            if action.site not in self.active:
+                return "site-not-active"
+            if action.site in self.pinned:
+                return "site-pinned"
+        if action.kind in ("migrate", "scale_up"):
+            if action.target not in self.standby_free():
+                return "target-not-standby"
+        if action.kind == "scale_down":
+            if len(self.active) + len(self.in_flight) <= self.min_peers:
+                return "min-peers"
+        if action.kind not in ("migrate", "scale_up", "scale_down",
+                               "set_tbs"):
+            return "unknown-kind"
+        return None
+
+    def _drop(self, site: str) -> None:
+        self.active.discard(site)
+        if self._deactivate is not None:
+            self._deactivate(site)
+
+    def _spawn(self, site: str) -> None:
+        self.in_flight.add(site)
+        if self._activate is not None:
+            self._activate(site)
+        else:  # no run loop attached (unit tests): complete instantly
+            self.finish_activation(site)

@@ -1,0 +1,59 @@
+"""Deterministic per-location spot markets from the Table 1 catalog.
+
+:func:`default_price_models` derives one diurnal
+:class:`~repro.cloud.SpotPriceModel` per priced location: the
+provider's on-demand T4 price, the provider's average spot discount
+(Table 1), and the location's timezone offset, so "night where the VM
+lives" is when its discount is deepest. No randomness enters: the
+resulting price curves are a pure function of simulated time, keeping
+adaptive runs byte-replayable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..cloud.pricing import PRICING
+from ..cloud.spot_market import SpotPriceModel
+
+__all__ = ["TZ_OFFSET_HOURS", "default_price_models"]
+
+#: Local timezone offset (hours from simulation UTC) per location key.
+TZ_OFFSET_HOURS: dict[str, float] = {
+    "gc:us": -6.0,
+    "gc:eu": 1.0,
+    "gc:asia": 8.0,
+    "gc:aus": 10.0,
+    "gc:us-west": -8.0,
+    "aws:us-west": -8.0,
+    "azure:us-south": -6.0,
+    "lambda:us-west": -8.0,
+    "onprem:eu": 1.0,
+}
+
+
+def default_price_models(
+    locations: Iterable[str],
+) -> dict[str, SpotPriceModel]:
+    """One diurnal price model per location with a Table 1 T4 price.
+
+    Locations whose provider quotes no usable T4 price (LambdaLabs has
+    no spot tier, on-premise has no cloud bill) are skipped — their VMs
+    stay on flat catalog pricing.
+    """
+    models: dict[str, SpotPriceModel] = {}
+    for location in dict.fromkeys(locations):
+        provider = location.split(":", 1)[0]
+        pricing = PRICING.get(provider)
+        if pricing is None:
+            continue
+        ondemand = pricing.t4_ondemand_per_h
+        if not math.isfinite(ondemand) or ondemand <= 0:
+            continue
+        models[location] = SpotPriceModel(
+            ondemand_per_h=ondemand,
+            mean_discount=pricing.spot_discount(),
+            tz_offset_hours=TZ_OFFSET_HOURS.get(location, 0.0),
+        )
+    return models

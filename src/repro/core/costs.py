@@ -20,9 +20,14 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Optional
 
-from ..cloud import B2_EGRESS_PER_GB, egress_price_per_gb, get_instance_type
+from ..cloud import (
+    B2_EGRESS_PER_GB,
+    egress_price_per_gb,
+    get_instance_type,
+    integrate_price_usd,
+)
 from ..hivemind.run import RunResult
-from ..network import Topology
+from ..network import Topology, location_of
 
 __all__ = [
     "VmCost",
@@ -113,15 +118,40 @@ def cost_report(
         else:
             external[src_name] = external.get(src_name, 0.0) + usd
 
+    price_models = getattr(result.config, "price_models", None) or {}
+    uptime = getattr(result, "uptime_intervals_by_site", None) or {}
+    standby = tuple(getattr(result.config, "standby_peers", ()) or ())
+
     vms = []
-    for peer in result.config.peers:
+    hours = max(duration_h, 1e-12)
+    for index, peer in enumerate(list(result.config.peers) + list(standby)):
         instance = get_instance_type(peer.instance_key or "gc-t4")
         data_bytes = result.data_ingress_bytes_by_site.get(peer.site, 0.0)
-        hours = max(duration_h, 1e-12)
+        model = price_models.get(location_of(peer.site)) if spot else None
+        if uptime or standby:
+            # Adaptive runs: bill each VM only while it was up. Active
+            # peers without a ledger entry ran the full duration;
+            # never-activated spares ran (and cost) nothing.
+            default = (
+                [(0.0, result.duration_s)]
+                if index < len(result.config.peers) else []
+            )
+            intervals = uptime.get(peer.site, default)
+        else:
+            intervals = [(0.0, result.duration_s)]
+        if model is not None:
+            # Satellite 1: integrate the diurnal spot price over the
+            # VM's uptime instead of charging a flat hourly rate.
+            instance_per_h = integrate_price_usd(model, intervals) / hours
+        elif intervals == [(0.0, result.duration_s)]:
+            instance_per_h = instance.price_per_hour(spot=spot)
+        else:
+            up_h = sum(end - start for start, end in intervals) / 3600.0
+            instance_per_h = instance.price_per_hour(spot=spot) * up_h / hours
         vms.append(
             VmCost(
                 site=peer.site,
-                instance_per_h=instance.price_per_hour(spot=spot),
+                instance_per_h=instance_per_h,
                 internal_egress_per_h=internal.get(peer.site, 0.0) / hours,
                 external_egress_per_h=external.get(peer.site, 0.0) / hours,
                 data_loading_per_h=data_bytes / _GB * B2_EGRESS_PER_GB / hours,

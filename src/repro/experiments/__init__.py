@@ -1,5 +1,11 @@
 """Experiment specs, runner, and figure/table regeneration."""
 
+from .adaptive import (
+    DEFAULT_ADAPTIVE_SETUPS,
+    adaptive_market,
+    adaptive_report,
+    standby_peers_for,
+)
 from .configs import EXPERIMENTS, ExperimentSpec, build_run_config, get_spec
 from .figures import REPORTS, Report, generate, render, report_keys
 from .replication import ReplicationSummary, replicate
@@ -18,6 +24,10 @@ from .validation import (
 
 __all__ = [
     "ANCHORS",
+    "DEFAULT_ADAPTIVE_SETUPS",
+    "adaptive_market",
+    "adaptive_report",
+    "standby_peers_for",
     "SweepFailure",
     "SweepGrid",
     "SweepResult",

@@ -165,10 +165,24 @@ def build_run_config(
     spec = get_spec(key)
     defaults = dict(monitor_interval_s=None, account_data_loading=True)
     defaults.update(overrides)
+    topology = spec.topology()
+    standby = defaults.get("standby_peers")
+    if standby:
+        # Control-plane spares live outside the named setup; regrow the
+        # topology so their sites exist as fabric endpoints.
+        defaults["standby_peers"] = tuple(standby)
+        counts: dict[str, int] = {}
+        for location, count, __ in spec.groups:
+            counts[location] = max(counts.get(location, 0), count)
+        for peer in defaults["standby_peers"]:
+            location, __, index = peer.site.partition("/")
+            slots = int(index) + 1 if index else 1
+            counts[location] = max(counts.get(location, 0), slots)
+        topology = build_topology(counts)
     return HivemindRunConfig(
         model=model,
         peers=spec.peers(),
-        topology=spec.topology(),
+        topology=topology,
         target_batch_size=target_batch_size,
         epochs=epochs,
         **defaults,

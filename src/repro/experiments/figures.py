@@ -735,6 +735,14 @@ def section7_spot(epochs: int = 2) -> Report:
     )
 
 
+def adaptive_control(epochs: int = 3, **kwargs) -> Report:
+    """Static vs adaptive control-plane comparison (see PR 5)."""
+    # Late import: adaptive.py imports this module for Report/_experiment.
+    from .adaptive import adaptive_report
+
+    return adaptive_report(epochs=epochs, **kwargs)
+
+
 REPORTS: dict[str, Callable[..., Report]] = {
     "table1": table1,
     "fig01": figure1,
@@ -761,6 +769,7 @@ REPORTS: dict[str, Callable[..., Report]] = {
     "fig17": figure17,
     "sec7-tcp": section7_tcp,
     "sec7-spot": section7_spot,
+    "adaptive": adaptive_control,
 }
 
 
@@ -872,6 +881,12 @@ def _points_hybrid(setting: str, baseline_name: str,
     return jobs
 
 
+def _points_adaptive(epochs: int) -> list[Job]:
+    from .adaptive import adaptive_points
+
+    return adaptive_points(epochs)
+
+
 def _points_fig16(epochs: int) -> list[Job]:
     jobs: list[Job] = [BaselineJob("1xT4", "whisper-small")]
     jobs += [ExperimentJob.make(f"A-{n}", "whisper-small",
@@ -906,6 +921,7 @@ REPORT_POINTS: dict[str, Callable[[int], list[Job]]] = {
     "fig15": _points_fig15,
     "fig16": _points_fig16,
     "fig17": _points_fig17,
+    "adaptive": _points_adaptive,
 }
 
 
@@ -915,14 +931,17 @@ def report_keys() -> list[str]:
 
 def generate(key: str, epochs: int = 3, jobs: int = 1,
              cache: "RunCache | None" = None,
-             orchestrator: "Orchestrator | None" = None) -> Report:
+             orchestrator: "Orchestrator | None" = None,
+             **kwargs) -> Report:
     """Regenerate one of the paper's tables/figures by id.
 
     With ``jobs > 1`` the report's known point list (from
     :data:`REPORT_POINTS`) is prefetched on a process pool first; the
     report body then assembles its rows serially from warm results, so
     the output is identical to a serial run. ``cache`` persists results
-    across invocations; ``orchestrator`` overrides both knobs.
+    across invocations; ``orchestrator`` overrides both knobs. Extra
+    keyword arguments reach the report body (e.g. ``policy=`` for the
+    ``adaptive`` report).
     """
     if key not in REPORTS:
         raise KeyError(f"unknown report {key!r}; known: {report_keys()}")
@@ -930,6 +949,6 @@ def generate(key: str, epochs: int = 3, jobs: int = 1,
         orchestrator = Orchestrator(cache=cache, jobs=jobs)
     with use_orchestrator(orchestrator):
         points = REPORT_POINTS.get(key)
-        if points is not None and orchestrator.jobs > 1:
+        if points is not None and orchestrator.jobs > 1 and not kwargs:
             orchestrator.prefetch(points(epochs))
-        return REPORTS[key](epochs=epochs)
+        return REPORTS[key](epochs=epochs, **kwargs)

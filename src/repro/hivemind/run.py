@@ -14,6 +14,7 @@ by class and by site, and the data-loading bill.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -24,7 +25,7 @@ from ..data import StoreLink, get_dataset
 from ..faults import FaultInjector, FaultSchedule, FaultTolerance
 from ..hardware import get_gpu, local_sps
 from ..models import get_model
-from ..network import Fabric, Topology
+from ..network import Fabric, Topology, location_of
 from ..simulation import Environment, Event, RandomStreams
 from ..telemetry import resolve_telemetry
 from ..training import MLP, SGD, compute_gradient, make_classification_data
@@ -122,6 +123,18 @@ class HivemindRunConfig:
     #: :func:`repro.telemetry.use_telemetry`, else tracing is disabled
     #: at zero cost.
     telemetry: Optional[object] = None
+    #: Provisioned-but-idle spare peers the control plane may activate
+    #: (migration targets / scale-up spares). Part of the topology and
+    #: the averaging plan, but contribute nothing until a policy
+    #: decision brings them up.
+    standby_peers: tuple[PeerSpec, ...] = ()
+    #: Control-plane policy (see :mod:`repro.controlplane`). ``None``
+    #: — the default — preserves static behaviour byte for byte.
+    policy: Optional[object] = None
+    #: Location -> :class:`~repro.cloud.SpotPriceModel`. Drives both
+    #: the controller's migration signal and the time-integrated VM
+    #: bill; ``None`` keeps flat catalog pricing.
+    price_models: Optional[dict] = None
 
     def __post_init__(self):
         if not self.peers:
@@ -130,6 +143,15 @@ class HivemindRunConfig:
             raise ValueError("target_batch_size must be >= 1")
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
+        if self.standby_peers:
+            self.standby_peers = tuple(self.standby_peers)
+            active = {peer.site for peer in self.peers}
+            for peer in self.standby_peers:
+                if peer.site in active:
+                    raise ValueError(
+                        f"standby peer {peer.site!r} duplicates an "
+                        "active peer"
+                    )
 
 
 @dataclass(frozen=True)
@@ -198,6 +220,18 @@ class RunResult:
     transfers_aborted: int = 0
     #: Injected faults by kind (empty when no schedule was configured).
     fault_counts: dict[str, int] = field(default_factory=dict)
+    #: Site -> [(start_s, end_s), ...] VM uptime windows, recorded when
+    #: a control-plane policy or spot price models are configured.
+    #: Empty otherwise; cost accounting then assumes full-run uptime.
+    uptime_intervals_by_site: dict[str, list[tuple[float, float]]] = field(
+        default_factory=dict
+    )
+    #: Controller decision log (:class:`repro.controlplane.Decision`),
+    #: in the order they were taken. Byte-identical across
+    #: identically-seeded runs.
+    decisions: list = field(default_factory=list)
+    #: Applied control actions by kind ("migrate", "scale_up", ...).
+    control_actions: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_samples(self) -> int:
@@ -281,6 +315,30 @@ class _NumericState:
             self.optimizers[site].step()
 
 
+class _UptimeLedger:
+    """Per-site VM uptime windows for time-integrated spot billing."""
+
+    def __init__(self, env: Environment, sites: list[str]):
+        self.env = env
+        self.intervals: dict[str, list[tuple[float, float]]] = {
+            site: [] for site in sites
+        }
+        self._since: dict[str, float] = {}
+
+    def mark_up(self, site: str) -> None:
+        if site in self.intervals and site not in self._since:
+            self._since[site] = self.env.now
+
+    def mark_down(self, site: str) -> None:
+        start = self._since.pop(site, None)
+        if start is not None and self.env.now > start:
+            self.intervals[site].append((start, self.env.now))
+
+    def close(self) -> None:
+        for site in list(self._since):
+            self.mark_down(site)
+
+
 def run_hivemind(config: HivemindRunConfig) -> RunResult:
     """Simulate a full Hivemind training run; see module docstring."""
     model = get_model(config.model)
@@ -300,15 +358,22 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
     #: DHT retries, DHT leave/rejoin on preemption) are active.
     chaos = ft is not None
 
+    standby = list(config.standby_peers)
+    all_peers = list(config.peers) + standby
     sites = [peer.site for peer in config.peers]
+    all_sites = [peer.site for peer in all_peers]
     rates = {
-        peer.site: local_sps(peer.gpu, model) for peer in config.peers
+        peer.site: local_sps(peer.gpu, model) for peer in all_peers
     }
-    plan = form_groups(config.topology, sites)
+    plan = form_groups(config.topology, all_sites)
     caps = {
         peer.site: get_gpu(peer.gpu).avg_stream_cap_bps
-        for peer in config.peers
+        for peer in all_peers
     }
+    #: Control-plane state; both stay ``None`` on static runs so every
+    #: hot path below keeps its original shape byte for byte.
+    controller = None
+    uptime: Optional[_UptimeLedger] = None
     averager = MoshpitAverager(
         env,
         fabric,
@@ -323,7 +388,7 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
     links: dict[str, StoreLink] = {}
     if config.account_data_loading:
         dataset = get_dataset(model.dataset)
-        links = {site: StoreLink(dataset) for site in sites}
+        links = {site: StoreLink(dataset) for site in all_sites}
 
     fleet: Optional[SpotFleet] = None
     #: Sites whose training state is current; a peer that rejoins after
@@ -352,7 +417,7 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
             streams.stream("interruptions"),
             slots=[
                 (peer.site, get_instance_type(peer.instance_key or "gc-t4"))
-                for peer in config.peers
+                for peer in all_peers
             ],
             interruption_model=config.interruption_model,
             startup_s=config.startup_s,
@@ -387,6 +452,8 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
 
         def on_fleet_event(event):
             if not event.up:
+                if uptime is not None:
+                    uptime.mark_down(event.site)
                 synced.discard(event.site)
                 if chaos:
                     averager.notify_peer_down(event.site)
@@ -394,18 +461,30 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
                     if node is not None and node.alive:
                         node.leave()
             elif env.now > 0:  # a rejoin, not the initial boot
-                env.process(resync(event.site))
+                # Under a controller, deactivated sites stay parked:
+                # only sites the policy keeps active resync on revival.
+                if controller is None or event.site in controller.active:
+                    if uptime is not None:
+                        uptime.mark_up(event.site)
+                    env.process(resync(event.site))
 
         fleet.subscribe(on_fleet_event)
 
     def live_sites() -> list[str]:
+        if controller is None:
+            if fleet is None:
+                return list(sites)
+            return [slot.site for slot in fleet.slots
+                    if slot.up and slot.site in synced]
         if fleet is None:
-            return list(sites)
+            return [site for site in all_sites
+                    if site in synced and site in controller.active]
         return [slot.site for slot in fleet.slots
-                if slot.up and slot.site in synced]
+                if slot.up and slot.site in synced
+                and slot.site in controller.active]
 
     numeric = (
-        _NumericState(config.numeric, sites, config.seed)
+        _NumericState(config.numeric, all_sites, config.seed)
         if config.numeric is not None
         else None
     )
@@ -420,7 +499,7 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
         backoff_factor=ft.backoff_factor if ft is not None else 2.0,
         rpc_timeout_s=ft.dht_rpc_timeout_s if ft is not None else None,
     )
-    dht_nodes = {site: DhtNode(dht_network, site) for site in sites}
+    dht_nodes = {site: DhtNode(dht_network, site) for site in all_sites}
     coordinator_node = dht_nodes[sites[0]]
 
     if chaos and fleet is not None:
@@ -445,6 +524,92 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
         monitor = TrainingMonitor(
             env, coordinator_node, interval_s=config.monitor_interval_s,
             telemetry=tel if tracing else None,
+        )
+
+    # -- control plane -----------------------------------------------------
+    if config.policy is not None or config.price_models:
+        uptime = _UptimeLedger(env, all_sites)
+        for site in sites:
+            uptime.mark_up(site)
+    if config.policy is not None:
+        from ..controlplane import Controller
+
+        #: Sites that have completed an initial DHT join (the bootstrap
+        #: covers the starting roster; activated spares join lazily).
+        joined_sites = set(sites)
+
+        def preemption_counts() -> dict[str, int]:
+            counts: dict[str, int] = {}
+            if fleet is not None:
+                for slot in fleet.slots:
+                    loc = location_of(slot.site)
+                    counts[loc] = counts.get(loc, 0) + slot.interruptions
+            return counts
+
+        def deactivate_peer(site: str) -> None:
+            if uptime is not None:
+                uptime.mark_down(site)
+            synced.discard(site)
+            node = dht_nodes[site]
+            if node.alive:
+                node.leave()
+            averager.notify_peer_down(site)
+
+        def activate_peer_proc(site: str):
+            yield env.timeout(config.startup_s)
+            node = dht_nodes[site]
+            if not node.alive:
+                yield from node.rejoin(coordinator_node)
+            elif site not in joined_sites:
+                yield from node.join(coordinator_node)
+                joined_sites.add(site)
+            donors = [s for s in synced if s != site]
+            if donors:
+                donor = min(
+                    donors, key=lambda d: config.topology.rtt_s(d, site)
+                )
+                with tel.span("state_sync", category="sync", track=site,
+                              donor=donor):
+                    yield fabric.transfer(
+                        donor, site, model.gradient_bytes("fp16"),
+                        tag="sync",
+                    )
+                state_syncs[0] += 1
+                tel.counter("state_syncs_total",
+                            "Model-state downloads after rejoin").inc()
+            synced.add(site)
+            controller.finish_activation(site)
+            wake_rejoin_waiters()
+
+        def activate_peer(site: str) -> None:
+            if uptime is not None:
+                uptime.mark_up(site)
+            env.process(activate_peer_proc(site))
+
+        flat_prices: dict[str, float] = {}
+        for peer in all_peers:
+            loc = location_of(peer.site)
+            if loc in flat_prices or peer.instance_key is None:
+                continue
+            price = get_instance_type(peer.instance_key).price_per_hour(
+                spot=True
+            )
+            if math.isfinite(price) and price > 0:
+                flat_prices[loc] = price
+
+        controller = Controller(
+            env,
+            config.policy,
+            active_sites=sites,
+            standby_sites=[peer.site for peer in standby],
+            pinned_sites=(sites[0],),
+            target_batch_size=config.target_batch_size,
+            price_models=config.price_models,
+            flat_prices=flat_prices,
+            preemption_counts=preemption_counts,
+            activate=activate_peer,
+            deactivate=deactivate_peer,
+            telemetry=tel,
         )
 
     epoch_stats: list[EpochStats] = []
@@ -479,7 +644,7 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
     def accumulate(target: int):
         """Advance time until the live peers accumulated ``target``
         samples; returns {site: samples} actually contributed."""
-        contributed: dict[str, float] = {site: 0.0 for site in sites}
+        contributed: dict[str, float] = {site: 0.0 for site in all_sites}
         remaining = float(target)
         while remaining > 1e-9:
             live = live_sites()
@@ -546,7 +711,11 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
         )
         for epoch in range(config.epochs):
             epoch_start = env.now
-            contributed = yield from accumulate(config.target_batch_size)
+            target = (
+                controller.current_tbs if controller is not None
+                else config.target_batch_size
+            )
+            contributed = yield from accumulate(target)
             calc_s = env.now - epoch_start
 
             matchmaking_start = env.now
@@ -638,6 +807,8 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
             live_gauge.set(len(live))
             samples_counter.inc(samples)
             env.process(publish_progress(epoch, len(live), samples))
+            if controller is not None:
+                controller.on_epoch_end(epoch_stats[-1])
         if config.overlap_communication and pending_round is not None:
             final = yield pending_round
             record_phase_spans(pending_epoch, pending_sites, "transfer",
@@ -657,6 +828,8 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
         metrics_process = env.process(metrics_logger())
     env.run(main)
     duration = env.now
+    if uptime is not None:
+        uptime.close()
     if monitor_process is not None and monitor_process.is_alive:
         monitor_process.interrupt("run finished")
         env.run(monitor_process)
@@ -699,4 +872,14 @@ def run_hivemind(config: HivemindRunConfig) -> RunResult:
         degraded_epochs=sum(1 for e in epoch_stats if e.degraded),
         transfers_aborted=fabric.aborted_flows,
         fault_counts=dict(injector.counts) if injector is not None else {},
+        uptime_intervals_by_site=(
+            {site: list(iv) for site, iv in uptime.intervals.items() if iv}
+            if uptime is not None else {}
+        ),
+        decisions=(
+            list(controller.decisions) if controller is not None else []
+        ),
+        control_actions=(
+            dict(controller.counts) if controller is not None else {}
+        ),
     )

@@ -14,7 +14,10 @@ lists/tuples, string-keyed dicts and a small registry of revivable
 dataclasses (:class:`~repro.faults.FaultSchedule`,
 :class:`~repro.faults.FaultTolerance`,
 :class:`~repro.cloud.InterruptionModel`,
-:class:`~repro.hivemind.NumericConfig`) are accepted. Anything else —
+:class:`~repro.hivemind.NumericConfig`,
+:class:`~repro.hivemind.PeerSpec`,
+:class:`~repro.cloud.SpotPriceModel` and the control-plane policies)
+are accepted. Anything else —
 live telemetry sinks, ad-hoc objects — raises :class:`Uncacheable`,
 and the orchestrator falls back to running the job inline without the
 cache rather than hashing an unstable representation.
@@ -45,7 +48,9 @@ __all__ = [
 
 #: Bumped when run semantics change without a visible config change;
 #: part of every fingerprint, so a bump invalidates the whole cache.
-FINGERPRINT_VERSION = 1
+#: v2: control-plane policies joined the fingerprint (PR 5), so cached
+#: static results cannot shadow adaptive ones and vice versa.
+FINGERPRINT_VERSION = 2
 
 _KIND = "__kind__"
 _VALUE = "__value__"
@@ -61,15 +66,27 @@ def _revivable_classes() -> dict[str, Any]:
     Imported lazily: this module sits below the experiment stack and
     must stay importable without dragging the whole simulator in.
     """
-    from ..cloud import InterruptionModel
+    from ..cloud import InterruptionModel, SpotPriceModel
+    from ..controlplane import (
+        AdaptivePolicy,
+        MigrationPolicy,
+        ScalingPolicy,
+        TbsPolicy,
+    )
     from ..faults import FaultSchedule, FaultTolerance
-    from ..hivemind import NumericConfig
+    from ..hivemind import NumericConfig, PeerSpec
 
     return {
+        "AdaptivePolicy": AdaptivePolicy,
         "FaultSchedule": FaultSchedule,
         "FaultTolerance": FaultTolerance,
         "InterruptionModel": InterruptionModel,
+        "MigrationPolicy": MigrationPolicy,
         "NumericConfig": NumericConfig,
+        "PeerSpec": PeerSpec,
+        "ScalingPolicy": ScalingPolicy,
+        "SpotPriceModel": SpotPriceModel,
+        "TbsPolicy": TbsPolicy,
     }
 
 

@@ -275,6 +275,12 @@ def _run_to_payload(run) -> dict:
         "losses": list(run.losses),
         "metrics": [asdict(sample) for sample in run.metrics],
         "fault_counts": dict(run.fault_counts),
+        "uptime_intervals_by_site": {
+            site: [[start, end] for start, end in intervals]
+            for site, intervals in run.uptime_intervals_by_site.items()
+        },
+        "decisions": [asdict(decision) for decision in run.decisions],
+        "control_actions": dict(run.control_actions),
     })
     return payload
 
@@ -295,6 +301,7 @@ def result_to_record(job: Job, result) -> dict:
 
 
 def _run_from_payload(job: ExperimentJob, payload: dict):
+    from ..controlplane import Decision
     from ..experiments.configs import build_run_config
     from ..hivemind.run import EpochStats, MetricSample, RunResult
 
@@ -303,6 +310,16 @@ def _run_from_payload(job: ExperimentJob, payload: dict):
         **job.revived_overrides(),
     )
     return RunResult(
+        uptime_intervals_by_site={
+            site: [(start, end) for start, end in intervals]
+            for site, intervals in payload.get(
+                "uptime_intervals_by_site", {}
+            ).items()
+        },
+        decisions=[
+            Decision(**doc) for doc in payload.get("decisions", [])
+        ],
+        control_actions=dict(payload.get("control_actions", {})),
         config=config,
         epochs=[EpochStats(**epoch) for epoch in payload["epochs"]],
         egress_bytes_by_class=dict(payload["egress_bytes_by_class"]),
